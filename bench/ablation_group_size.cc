@@ -1,0 +1,46 @@
+// Ablation: how the hierarchical protocol's group-size bound (the paper's
+// per-network node count) trades bandwidth against convergence at a fixed
+// cluster size. Small groups mean less multicast traffic per channel but a
+// taller tree (more relay hops and more leaders); large groups approach
+// all-to-all within each network.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/flags.h"
+
+using namespace tamp;
+using namespace tamp::bench;
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("ablation_group_size");
+  auto& nodes = flags.add_int("nodes", 400, "cluster size");
+  auto& trials = flags.add_int("trials", 2, "kills averaged per point");
+  auto& seed = flags.add_int("seed", 5, "rng seed");
+  flags.parse(argc, argv);
+
+  std::printf("Ablation — hierarchical group size at n=%lld\n\n",
+              static_cast<long long>(nodes));
+  std::printf("%12s %14s %14s %14s\n", "group size", "bandwidth MB/s",
+              "detection s", "convergence s");
+
+  for (int group : {5, 10, 20, 50, 100}) {
+    ExperimentSettings settings;
+    settings.scheme = protocols::Scheme::kHierarchical;
+    settings.nodes = static_cast<int>(nodes);
+    settings.nodes_per_network = group;
+    settings.seed = static_cast<uint64_t>(seed);
+
+    auto bandwidth = measure_bandwidth(settings);
+    auto failure = measure_failure_avg(settings, static_cast<int>(trials));
+    std::printf("%12d %14.3f %14.2f %14.2f\n", group,
+                bandwidth ? *bandwidth / 1e6 : -1.0,
+                failure ? failure->detection_s : -1.0,
+                failure ? failure->convergence_s : -1.0);
+  }
+  std::printf(
+      "\nshape check: steady-state bandwidth grows with group size (each"
+      " channel carries more heartbeats); very small groups pay instead in"
+      " leader count (more anti-entropy refresh traffic, taller tree);"
+      " detection stays ~constant — local groups always detect\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation: the paper's message-loss machinery (Section 3.1.2). Sweeps the
+// injected packet-loss rate against the piggyback depth and reports how
+// often gaps were healed by piggybacked records vs. full synchronization
+// polls, and whether the cluster still converges through churn.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/flags.h"
+
+using namespace tamp;
+using namespace tamp::bench;
+
+namespace {
+
+struct LossResult {
+  bool converged = false;
+  uint64_t piggyback_recoveries = 0;
+  uint64_t syncs = 0;
+};
+
+LossResult run(int nodes, double loss, int piggyback, uint64_t seed) {
+  ExperimentSettings settings;
+  settings.nodes = nodes;
+  settings.seed = seed;
+  BuiltCluster built = build_cluster(settings);
+  // Rebuild with the requested piggyback depth.
+  protocols::Cluster::Options opts;
+  opts.scheme = protocols::Scheme::kHierarchical;
+  opts.heartbeat_pad = settings.heartbeat_pad;
+  opts.hier.piggyback = piggyback;
+  built.cluster = std::make_unique<protocols::Cluster>(
+      *built.sim, *built.network, built.layout.hosts, opts);
+
+  built.cluster->start_all();
+  built.sim->run_until(20 * sim::kSecond);
+
+  built.network->set_extra_loss(loss);
+  // Churn under loss: kill two nodes, restart one.
+  built.cluster->kill(3);
+  built.cluster->kill(built.cluster->size() / 2);
+  built.sim->run_until(built.sim->now() + 15 * sim::kSecond);
+  built.cluster->restart(3);
+  built.sim->run_until(built.sim->now() + 15 * sim::kSecond);
+  built.network->set_extra_loss(0.0);
+  // Allow a full anti-entropy cycle plus the orphan-expiry horizon so any
+  // entry resurrected by reordered replays under loss is garbage-collected.
+  built.sim->run_until(built.sim->now() + 90 * sim::kSecond);
+
+  LossResult result;
+  result.converged = built.cluster->converged();
+  for (size_t i = 0; i < built.cluster->size(); ++i) {
+    auto* daemon = built.cluster->hier_daemon(i);
+    if (daemon == nullptr || !daemon->running()) continue;
+    result.piggyback_recoveries +=
+        daemon->stats().gaps_recovered_by_piggyback;
+    result.syncs += daemon->stats().syncs_requested;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("ablation_loss_recovery");
+  auto& nodes = flags.add_int("nodes", 60, "cluster size");
+  auto& seed = flags.add_int("seed", 9, "rng seed");
+  flags.parse(argc, argv);
+
+  std::printf("Ablation — packet loss vs piggyback depth (n=%lld, churn of"
+              " 2 kills + 1 restart under loss)\n\n",
+              static_cast<long long>(nodes));
+  std::printf("%8s %10s %12s %12s %12s\n", "loss %", "piggyback",
+              "converged", "pb-heals", "sync polls");
+
+  for (double loss : {0.0, 0.05, 0.10, 0.20}) {
+    for (int piggyback : {0, 1, 3, 5}) {
+      auto result = run(static_cast<int>(nodes), loss, piggyback,
+                        static_cast<uint64_t>(seed));
+      std::printf("%8.0f %10d %12s %12llu %12llu\n", loss * 100, piggyback,
+                  result.converged ? "yes" : "NO",
+                  static_cast<unsigned long long>(result.piggyback_recoveries),
+                  static_cast<unsigned long long>(result.syncs));
+    }
+  }
+  std::printf(
+      "\nshape check: deeper piggyback heals more gaps in place and needs"
+      " fewer sync polls; convergence holds through 20%% loss\n");
+  return 0;
+}

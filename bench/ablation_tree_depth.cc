@@ -1,0 +1,122 @@
+// Ablation: topology adaptivity. The same node count is laid out on ever
+// deeper router hierarchies; the formation protocol must build a matching
+// membership tree (leaders climbing through the levels), keep heartbeat
+// traffic local, and pay only a small propagation cost per extra level.
+#include <cstdio>
+
+#include "net/builders.h"
+#include "protocols/cluster.h"
+#include "util/flags.h"
+#include "util/stats.h"
+
+using namespace tamp;
+
+namespace {
+
+struct DepthResult {
+  int max_ttl_needed = 0;
+  int levels_formed = 0;
+  double bandwidth_mbps = -1;
+  double detection_s = -1;
+  double convergence_s = -1;
+};
+
+DepthResult run(int branching, int depth, int hosts_per_leaf,
+                uint64_t seed) {
+  sim::Simulation sim(seed);
+  net::Topology topo;
+  auto layout =
+      net::build_router_tree(topo, branching, depth, hosts_per_leaf);
+  net::Network net(sim, topo);
+
+  DepthResult result;
+  result.max_ttl_needed = topo.max_ttl();
+
+  protocols::Cluster::Options opts;
+  opts.scheme = protocols::Scheme::kHierarchical;
+  opts.hier.max_ttl = result.max_ttl_needed;
+  opts.heartbeat_pad = 228;
+  protocols::Cluster cluster(sim, net, layout.hosts, opts);
+
+  net::HostId victim = layout.racks[0].back();
+  size_t victim_index = 0;
+  for (size_t i = 0; i < layout.hosts.size(); ++i) {
+    if (layout.hosts[i] == victim) victim_index = i;
+  }
+  sim::Time first = -1, last = -1;
+  cluster.set_change_listener(
+      [&](membership::NodeId subject, bool alive, sim::Time when) {
+        if (subject != victim || alive) return;
+        if (first < 0) first = when;
+        last = when;
+      });
+
+  cluster.start_all();
+  sim.run_until(25 * sim::kSecond);
+  if (!cluster.converged()) return result;
+
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    auto* daemon = cluster.hier_daemon(i);
+    for (int level : daemon->joined_levels()) {
+      result.levels_formed = std::max(result.levels_formed, level + 1);
+    }
+  }
+
+  net.reset_stats();
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  result.bandwidth_mbps =
+      static_cast<double>(net.total_stats().rx_wire_bytes) / 10.0 / 1e6;
+
+  const sim::Time killed_at = sim.now();
+  cluster.kill(victim_index);
+  sim.run_until(killed_at + 40 * sim::kSecond);
+  if (cluster.converged() && first >= 0) {
+    result.detection_s = sim::to_seconds(first - killed_at);
+    result.convergence_s = sim::to_seconds(last - killed_at);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("ablation_tree_depth");
+  auto& seed = flags.add_int("seed", 17, "rng seed");
+  flags.parse(argc, argv);
+
+  std::printf("Ablation — hierarchical formation on deeper router trees\n");
+  std::printf("(branching x depth router hierarchy, one leaf segment per"
+              " leaf router)\n\n");
+  std::printf("%22s %8s %10s %10s %14s %12s %12s\n", "layout", "hosts",
+              "max TTL", "levels", "bandwidth MB/s", "detect s",
+              "converge s");
+
+  struct Shape {
+    int branching;
+    int depth;
+    int hosts_per_leaf;
+  };
+  const Shape shapes[] = {
+      {1, 0, 48},  // one flat segment
+      {2, 1, 12},  // 4 leaf segments, 1 router tier
+      {2, 2, 6},   // 8 leaf segments, 2 router tiers
+      {2, 3, 3},   // 16 leaf segments, 3 router tiers
+  };
+  for (const auto& shape : shapes) {
+    int leaves = 1;
+    for (int d = 0; d < shape.depth; ++d) leaves *= shape.branching;
+    int hosts = leaves * shape.hosts_per_leaf;
+    auto result = run(shape.branching, shape.depth, shape.hosts_per_leaf,
+                      static_cast<uint64_t>(seed));
+    std::printf("%14dx%-2d x %-4d %8d %10d %10d %14.3f %12.2f %12.2f\n",
+                shape.branching, shape.depth, shape.hosts_per_leaf, hosts,
+                result.max_ttl_needed, result.levels_formed,
+                result.bandwidth_mbps, result.detection_s,
+                result.convergence_s);
+  }
+  std::printf(
+      "\nshape check: the membership tree tracks the router depth (levels"
+      " == max TTL); detection stays at ~5 s regardless of depth;"
+      " convergence grows only by per-level relay hops (ms)\n");
+  return 0;
+}

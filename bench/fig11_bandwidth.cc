@@ -1,0 +1,64 @@
+// Reproduces paper Figure 11: aggregated bandwidth consumption of the three
+// membership schemes as the cluster grows from 20 to 100 nodes (networks of
+// 20 nodes each, 1 heartbeat/gossip per second, 228-byte per-node info).
+//
+// Expected shape (paper): all three equal at 20 nodes; hierarchical grows
+// ~linearly and lowest; all-to-all and gossip grow quadratically.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/flags.h"
+
+using namespace tamp;
+using namespace tamp::bench;
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("fig11_bandwidth");
+  auto& min_nodes = flags.add_int("min_nodes", 20, "smallest cluster");
+  auto& max_nodes = flags.add_int("max_nodes", 100, "largest cluster");
+  auto& step = flags.add_int("step", 20, "cluster size step");
+  auto& seed = flags.add_int("seed", 1, "rng seed");
+  auto& csv = flags.add_bool("csv", false, "emit CSV instead of a table");
+  flags.parse(argc, argv);
+
+  if (csv) {
+    std::printf("nodes,alltoall_mbps,gossip_mbps,hier_mbps\n");
+  } else {
+    std::printf("Figure 11 — aggregated bandwidth consumption\n");
+    std::printf("(1 pkt/s/node, 228-byte membership info, %lld-node networks)\n",
+                static_cast<long long>(20));
+    print_series_header("Communication cost", "MB/s received, cluster-wide");
+  }
+
+  for (int nodes = static_cast<int>(min_nodes);
+       nodes <= static_cast<int>(max_nodes);
+       nodes += static_cast<int>(step)) {
+    double mbps[3] = {0, 0, 0};
+    const protocols::Scheme schemes[] = {protocols::Scheme::kAllToAll,
+                                         protocols::Scheme::kGossip,
+                                         protocols::Scheme::kHierarchical};
+    for (int s = 0; s < 3; ++s) {
+      ExperimentSettings settings;
+      settings.scheme = schemes[s];
+      settings.nodes = nodes;
+      settings.seed = static_cast<uint64_t>(seed);
+      settings.settle = schemes[s] == protocols::Scheme::kGossip
+                            ? 40 * sim::kSecond
+                            : 20 * sim::kSecond;
+      auto bytes_per_sec = measure_bandwidth(settings);
+      mbps[s] = bytes_per_sec ? *bytes_per_sec / 1e6 : -1.0;
+    }
+    if (csv) {
+      std::printf("%d,%.4f,%.4f,%.4f\n", nodes, mbps[0], mbps[1], mbps[2]);
+    } else {
+      std::printf("%8d %14.3f %14.3f %14.3f\n", nodes, mbps[0], mbps[1],
+                  mbps[2]);
+    }
+  }
+  if (!csv) {
+    std::printf(
+        "\nshape check: hierarchical lowest & ~linear; all-to-all and gossip"
+        " ~quadratic (paper Fig. 11)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces paper Figure 13: view convergence time vs cluster size — the
+// time until the *last* surviving node has recorded the failure.
+//
+// Expected shape (paper): hierarchical ~= all-to-all (detection plus a few
+// tree hops); gossip largest and growing with n.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/flags.h"
+
+using namespace tamp;
+using namespace tamp::bench;
+
+int main(int argc, char** argv) {
+  util::FlagSet flags("fig13_convergence_time");
+  auto& min_nodes = flags.add_int("min_nodes", 20, "smallest cluster");
+  auto& max_nodes = flags.add_int("max_nodes", 100, "largest cluster");
+  auto& step = flags.add_int("step", 20, "cluster size step");
+  auto& trials = flags.add_int("trials", 3, "kills averaged per point");
+  auto& seed = flags.add_int("seed", 1, "rng seed");
+  auto& csv = flags.add_bool("csv", false, "emit CSV instead of a table");
+  flags.parse(argc, argv);
+
+  if (csv) {
+    std::printf("nodes,alltoall_s,gossip_s,hier_s\n");
+  } else {
+    std::printf("Figure 13 — view convergence time\n");
+    print_series_header("View convergence time", "seconds");
+  }
+
+  for (int nodes = static_cast<int>(min_nodes);
+       nodes <= static_cast<int>(max_nodes);
+       nodes += static_cast<int>(step)) {
+    double convergence[3] = {0, 0, 0};
+    const protocols::Scheme schemes[] = {protocols::Scheme::kAllToAll,
+                                         protocols::Scheme::kGossip,
+                                         protocols::Scheme::kHierarchical};
+    for (int s = 0; s < 3; ++s) {
+      ExperimentSettings settings;
+      settings.scheme = schemes[s];
+      settings.nodes = nodes;
+      settings.seed = static_cast<uint64_t>(seed) + 7 + static_cast<uint64_t>(s);
+      settings.settle = schemes[s] == protocols::Scheme::kGossip
+                            ? 40 * sim::kSecond
+                            : 20 * sim::kSecond;
+      auto result = measure_failure_avg(settings, static_cast<int>(trials),
+                                        90 * sim::kSecond);
+      convergence[s] = result ? result->convergence_s : -1.0;
+    }
+    if (csv) {
+      std::printf("%d,%.3f,%.3f,%.3f\n", nodes, convergence[0],
+                  convergence[1], convergence[2]);
+    } else {
+      std::printf("%8d %14.2f %14.2f %14.2f\n", nodes, convergence[0],
+                  convergence[1], convergence[2]);
+    }
+  }
+  if (!csv) {
+    std::printf(
+        "\nshape check: hierarchical ~= all-to-all; gossip largest and"
+        " growing with n (paper Fig. 13)\n");
+  }
+  return 0;
+}

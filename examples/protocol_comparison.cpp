@@ -1,0 +1,108 @@
+// Runs the three membership protocols side by side on the same 60-node
+// cluster and scenario, printing a compact scorecard: steady-state
+// bandwidth, failure detection & convergence, and join visibility — the
+// paper's comparison (Sections 4 & 6) in one command.
+//
+//   ./examples/protocol_comparison
+#include <cstdio>
+
+#include "net/builders.h"
+#include "protocols/cluster.h"
+
+using namespace tamp;
+
+namespace {
+
+struct Scorecard {
+  double bandwidth_kbps = -1;
+  double detection_s = -1;
+  double convergence_s = -1;
+  double join_s = -1;
+};
+
+Scorecard evaluate(protocols::Scheme scheme) {
+  sim::Simulation sim(2005);
+  net::Topology topo;
+  net::RackedClusterParams params;
+  params.racks = 3;
+  params.hosts_per_rack = 20;
+  auto layout = net::build_racked_cluster(topo, params);
+  net::Network net(sim, topo);
+
+  protocols::Cluster::Options opts;
+  opts.scheme = scheme;
+  opts.heartbeat_pad = 228;
+  protocols::Cluster cluster(sim, net, layout.hosts, opts);
+
+  net::HostId victim = layout.racks[0].back();
+  size_t victim_index = 0;
+  for (size_t i = 0; i < layout.hosts.size(); ++i) {
+    if (layout.hosts[i] == victim) victim_index = i;
+  }
+
+  sim::Time first_leave = -1, last_leave = -1, last_join = -1;
+  bool watching_join = false;
+  cluster.set_change_listener(
+      [&](membership::NodeId subject, bool alive, sim::Time when) {
+        if (subject != victim) return;
+        if (!alive) {
+          if (first_leave < 0) first_leave = when;
+          last_leave = when;
+        } else if (watching_join) {
+          last_join = when;
+        }
+      });
+
+  cluster.start_all();
+  const sim::Duration settle =
+      scheme == protocols::Scheme::kGossip ? 40 * sim::kSecond
+                                           : 20 * sim::kSecond;
+  sim.run_until(settle);
+  if (!cluster.converged()) return {};
+
+  Scorecard card;
+  net.reset_stats();
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  card.bandwidth_kbps =
+      static_cast<double>(net.total_stats().rx_wire_bytes) / 10.0 / 1e3;
+
+  const sim::Time killed_at = sim.now();
+  cluster.kill(victim_index);
+  sim.run_until(killed_at + 60 * sim::kSecond);
+  if (first_leave >= 0) {
+    card.detection_s = sim::to_seconds(first_leave - killed_at);
+    card.convergence_s = sim::to_seconds(last_leave - killed_at);
+  }
+
+  watching_join = true;
+  const sim::Time rejoin_at = sim.now();
+  cluster.restart(victim_index);
+  sim.run_until(rejoin_at + 60 * sim::kSecond);
+  if (cluster.converged() && last_join >= 0) {
+    card.join_s = sim::to_seconds(last_join - rejoin_at);
+  }
+  return card;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Protocol scorecard — 60 nodes (3 networks of 20), 1 Hz,"
+              " 228-byte membership info\n\n");
+  std::printf("%-14s %16s %14s %14s %16s\n", "scheme", "bandwidth KB/s",
+              "detection s", "converge s", "join (all) s");
+  const protocols::Scheme schemes[] = {protocols::Scheme::kAllToAll,
+                                       protocols::Scheme::kGossip,
+                                       protocols::Scheme::kHierarchical};
+  for (auto scheme : schemes) {
+    Scorecard card = evaluate(scheme);
+    std::printf("%-14s %16.1f %14.2f %14.2f %16.2f\n",
+                protocols::scheme_name(scheme), card.bandwidth_kbps,
+                card.detection_s, card.convergence_s, card.join_s);
+  }
+  std::printf(
+      "\nThe hierarchical protocol matches all-to-all's detection and"
+      " convergence at a fraction of the bandwidth; gossip trades"
+      " responsiveness for topology independence (paper Secs. 4 & 6).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The prototype search engine of paper Figure 1 on one datacenter.
+//
+// A 40-node cluster runs the hierarchical membership service; on top of it,
+// 3 protocol gateways fan queries out to 2 index partitions and 3 doc
+// partitions (3 replicas each), balancing with random polling. A Poisson
+// workload drives it while one doc replica is killed and later restarted —
+// the membership layer steers traffic around the failure transparently.
+//
+//   ./examples/search_engine
+#include <cstdio>
+
+#include "net/builders.h"
+#include "service/search.h"
+
+using namespace tamp;
+
+int main() {
+  sim::Simulation sim(7);
+  net::Topology topo;
+  net::RackedClusterParams racks;
+  racks.racks = 2;
+  racks.hosts_per_rack = 20;
+  auto layout = net::build_racked_cluster(topo, racks);
+  net::Network net(sim, topo);
+
+  protocols::Cluster::Options opts;
+  opts.scheme = protocols::Scheme::kHierarchical;
+  protocols::Cluster cluster(sim, net, layout.hosts, opts);
+  cluster.start_all();
+
+  service::SearchParams params;
+  service::SearchDeployment search(sim, net, cluster, params);
+  search.start();
+
+  sim.run_until(12 * sim::kSecond);
+  std::printf("cluster converged: %s\n",
+              cluster.converged() ? "yes" : "no");
+
+  service::SearchWorkload workload(sim, search.gateways(), 60.0);
+  workload.run_for(30 * sim::kSecond);
+
+  // Fail one doc replica 10 s in, restart it 10 s later.
+  size_t victim = search.doc_nodes()[1];
+  sim.schedule_after(10 * sim::kSecond, [&] {
+    std::printf("t=%.0fs  killing doc replica on node %u\n",
+                sim::to_seconds(sim.now()), cluster.hosts()[victim]);
+    cluster.kill(victim);
+  });
+  sim.schedule_after(20 * sim::kSecond, [&] {
+    std::printf("t=%.0fs  restarting node %u\n", sim::to_seconds(sim.now()),
+                cluster.hosts()[victim]);
+    cluster.restart(victim);
+    search.restart_providers_on(victim);
+  });
+
+  sim.run_until(sim.now() + 35 * sim::kSecond);
+
+  std::printf("\n%6s %10s %10s %12s\n", "sec", "completed", "failed",
+              "mean ms");
+  size_t start = workload.buckets().size() > 30
+                     ? workload.buckets().size() - 30
+                     : 0;
+  for (size_t s = start; s < workload.buckets().size(); ++s) {
+    const auto& bucket = workload.buckets()[s];
+    if (bucket.arrived == 0 && bucket.completed == 0) continue;
+    std::printf("%6zu %10d %10d %12.2f\n", s, bucket.completed, bucket.failed,
+                bucket.mean_latency_ms());
+  }
+  std::printf("\ntotal: %llu ok, %llu failed, median %.2f ms, p99 %.2f ms\n",
+              static_cast<unsigned long long>(workload.total_completed()),
+              static_cast<unsigned long long>(workload.total_failed()),
+              workload.latencies().median(), workload.latencies().p99());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Shows the topology-adaptive group formation (paper Section 3.1) on four
+// network shapes, including the Figure-4 overlap case where TTL
+// transitivity fails.
+//
+//   ./examples/topology_explorer
+#include <cstdio>
+
+#include "net/builders.h"
+#include "protocols/cluster.h"
+
+using namespace tamp;
+
+namespace {
+
+void explore(const char* title, net::Topology& topo,
+             const std::vector<net::HostId>& hosts, int max_ttl) {
+  std::printf("\n=== %s (%zu hosts, MAX_TTL=%d) ===\n", title, hosts.size(),
+              max_ttl);
+  sim::Simulation sim(13);
+  net::Network net(sim, topo);
+  protocols::Cluster::Options opts;
+  opts.scheme = protocols::Scheme::kHierarchical;
+  opts.hier.max_ttl = max_ttl;
+  protocols::Cluster cluster(sim, net, hosts, opts);
+  cluster.start_all();
+  sim.run_until(20 * sim::kSecond);
+
+  std::printf("converged: %zu/%zu\n", cluster.converged_count(),
+              cluster.size());
+  for (int level = 0; level < max_ttl; ++level) {
+    bool any = false;
+    for (size_t i = 0; i < cluster.size(); ++i) {
+      auto* daemon = cluster.hier_daemon(i);
+      if (!daemon->joined(level)) continue;
+      if (!any) {
+        std::printf("level %d (TTL %d):\n", level, level + 1);
+        any = true;
+      }
+      std::printf("  node %-3u %s hears {", daemon->self(),
+                  daemon->is_leader(level) ? "LEADER" : "      ");
+      for (auto member : daemon->group_members(level)) {
+        std::printf(" %u", member);
+      }
+      std::printf(" }\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  {
+    net::Topology topo;
+    auto layout = net::build_single_segment(topo, 6);
+    explore("single L2 segment: one local group", topo, layout.hosts, 1);
+  }
+  {
+    net::Topology topo;
+    net::RackedClusterParams params;
+    params.racks = 3;
+    params.hosts_per_rack = 4;
+    auto layout = net::build_racked_cluster(topo, params);
+    explore("racked cluster: per-rack groups + a leader group", topo,
+            layout.hosts, 4);
+  }
+  {
+    net::Topology topo;
+    auto layout = net::build_router_tree(topo, 2, 1, 3);
+    explore("router tree: leaders climb through singleton levels", topo,
+            layout.hosts, 4);
+  }
+  {
+    net::Topology topo;
+    auto layout = net::build_fig4_overlap(topo, 2);
+    std::printf("\nFigure-4 distances: ttl(a,b)=%d ttl(a,c)=%d ttl(b,c)=%d\n",
+                topo.ttl_required(layout.segment_a[0], layout.segment_b[0]),
+                topo.ttl_required(layout.segment_a[0], layout.segment_c[0]),
+                topo.ttl_required(layout.segment_b[0], layout.segment_c[0]));
+    explore("paper Figure 4: overlapping groups", topo, layout.all, 4);
+  }
+  return 0;
+}

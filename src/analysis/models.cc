@@ -1,0 +1,120 @@
+#include "analysis/models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tamp::analysis {
+namespace {
+
+// Bytes received cluster-wide per heartbeat round, per scheme. The
+// hierarchical figure walks the actual tree (level sizes shrink by the
+// group bound g), so it is exact rather than the loose n*g upper bound.
+double a2a_round_bytes(double n, double m) { return n * (n - 1) * m; }
+
+double gossip_round_bytes(double n, double m) {
+  // Each node ships its whole view (n records of m bytes) to one peer.
+  return n * (n * m);
+}
+
+double hier_round_bytes(double n, double m, double g) {
+  double total = 0;
+  double level_population = n;
+  while (level_population > 1) {
+    double groups = std::ceil(level_population / g);
+    double group_size = level_population / groups;
+    total += level_population * std::max(0.0, group_size - 1) * m;
+    level_population = groups;
+  }
+  return total;
+}
+
+double gossip_detection_periods(const ModelParams& p) {
+  double n = std::max(2.0, p.n);
+  return p.gossip_c0 + p.gossip_c1 * std::log2(n);
+}
+
+}  // namespace
+
+double tree_height(double n, double g) {
+  if (n <= g) return 1.0;
+  return std::ceil(std::log(n) / std::log(g));
+}
+
+double group_count(double n, double g) {
+  // Paper: sum over levels of n/g^l  ~  (n-1)/(g-1).
+  return (n - 1) / (g - 1);
+}
+
+// --- fixed-frequency regime ------------------------------------------------
+
+double a2a_bandwidth(const ModelParams& p) {
+  return a2a_round_bytes(p.n, p.m) * p.freq;
+}
+double gossip_bandwidth(const ModelParams& p) {
+  return gossip_round_bytes(p.n, p.m) * p.freq;
+}
+double hier_bandwidth(const ModelParams& p) {
+  return hier_round_bytes(p.n, p.m, p.g) * p.freq;
+}
+
+double a2a_detection(const ModelParams& p) { return p.k / p.freq; }
+double gossip_detection(const ModelParams& p) {
+  return gossip_detection_periods(p) / p.freq;
+}
+double hier_detection(const ModelParams& p) { return p.k / p.freq; }
+
+double a2a_convergence(const ModelParams& p) {
+  // Every node detects independently from the same heartbeat stream.
+  return a2a_detection(p);
+}
+double gossip_convergence(const ModelParams& p) { return gossip_detection(p); }
+double hier_convergence(const ModelParams& p) {
+  // Detection plus the update's trip up and down the tree (paper: 2h tau).
+  return hier_detection(p) + 2.0 * tree_height(p.n, p.g) * p.tau;
+}
+
+// --- fixed-bandwidth regime --------------------------------------------------
+
+double a2a_detection_at_budget(const ModelParams& p) {
+  return p.k * a2a_round_bytes(p.n, p.m) / p.bandwidth;
+}
+double gossip_detection_at_budget(const ModelParams& p) {
+  return gossip_detection_periods(p) * gossip_round_bytes(p.n, p.m) /
+         p.bandwidth;
+}
+double hier_detection_at_budget(const ModelParams& p) {
+  return p.k * hier_round_bytes(p.n, p.m, p.g) / p.bandwidth;
+}
+
+double a2a_bdp(const ModelParams& p) {
+  return p.bandwidth * a2a_detection_at_budget(p);
+}
+double gossip_bdp(const ModelParams& p) {
+  return p.bandwidth * gossip_detection_at_budget(p);
+}
+double hier_bdp(const ModelParams& p) {
+  return p.bandwidth * hier_detection_at_budget(p);
+}
+
+double a2a_bcp(const ModelParams& p) { return a2a_bdp(p); }
+double gossip_bcp(const ModelParams& p) { return gossip_bdp(p); }
+double hier_bcp(const ModelParams& p) {
+  return hier_bdp(p) +
+         p.bandwidth * 2.0 * tree_height(p.n, p.g) * p.tau;
+}
+
+std::vector<SchemeRow> compare_schemes(const ModelParams& p) {
+  return {
+      SchemeRow{"all-to-all", a2a_bandwidth(p), a2a_detection(p),
+                a2a_convergence(p), a2a_detection_at_budget(p), a2a_bdp(p),
+                a2a_bcp(p)},
+      SchemeRow{"gossip", gossip_bandwidth(p), gossip_detection(p),
+                gossip_convergence(p), gossip_detection_at_budget(p),
+                gossip_bdp(p), gossip_bcp(p)},
+      SchemeRow{"hierarchical", hier_bandwidth(p), hier_detection(p),
+                hier_convergence(p), hier_detection_at_budget(p), hier_bdp(p),
+                hier_bcp(p)},
+  };
+}
+
+}  // namespace tamp::analysis

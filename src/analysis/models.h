@@ -1,0 +1,90 @@
+// Closed-form scalability models from paper Section 4.
+//
+// Notation (paper): n nodes, m bytes of per-node membership information,
+// k consecutive missed heartbeats before a node is declared dead, g the
+// hierarchical group-size bound, B a total bandwidth budget, tau the
+// one-hop transmission time of an update message.
+//
+// Two regimes per scheme:
+//  * fixed-frequency — every node multicasts/gossips once per period
+//    (what the implementation and the measurements do); bandwidth grows
+//    with n and detection time is the scheme's natural constant/log/const.
+//  * fixed-bandwidth — the cluster is given a budget B and the frequency
+//    is throttled to fit; detection time then scales as the paper's
+//    formulas: all-to-all k·n²·m/B, gossip O(n²·m·log n/B), hierarchical
+//    k·n·m·(effectively)/B — giving the bandwidth-detection-time product
+//    (BDP) and bandwidth-convergence-time product (BCP) comparisons.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tamp::analysis {
+
+struct ModelParams {
+  double n = 100;        // cluster size
+  double m = 228;        // bytes of membership info per node
+  double k = 5;          // missed heartbeats before declared dead
+  double g = 20;         // hierarchical group size bound
+  double freq = 1.0;     // heartbeats (or gossips) per second per node
+  double bandwidth = 4e6;  // budget B for the fixed-bandwidth regime, B/s
+  double tau = 0.5e-3;   // one-hop update transmission time, seconds
+  // Gossip detection constants (periods = c0 + c1*log2 n), calibrated to
+  // the paper's measured curve at Pmistake = 0.1%.
+  double gossip_c0 = 5.5;
+  double gossip_c1 = 1.75;
+};
+
+// Tree height for group bound g: ceil(log_g n), at least 1.
+double tree_height(double n, double g);
+// Total number of groups: (n-1)/(g-1) approximately (paper's sum).
+double group_count(double n, double g);
+
+// --- fixed-frequency regime ------------------------------------------------
+
+// Aggregate *received* bytes per second across the cluster (what the
+// Figure 11 measurement sums over nodes).
+double a2a_bandwidth(const ModelParams& p);
+double gossip_bandwidth(const ModelParams& p);
+double hier_bandwidth(const ModelParams& p);
+
+// Failure detection time, seconds (Figure 12).
+double a2a_detection(const ModelParams& p);
+double gossip_detection(const ModelParams& p);
+double hier_detection(const ModelParams& p);
+
+// View convergence time, seconds (Figure 13): detection plus dissemination.
+double a2a_convergence(const ModelParams& p);
+double gossip_convergence(const ModelParams& p);
+double hier_convergence(const ModelParams& p);
+
+// --- fixed-bandwidth regime --------------------------------------------------
+
+// Detection time when the scheme must fit in budget p.bandwidth.
+double a2a_detection_at_budget(const ModelParams& p);
+double gossip_detection_at_budget(const ModelParams& p);
+double hier_detection_at_budget(const ModelParams& p);
+
+// Bandwidth-detection-time product (paper's BDP metric; lower is better)
+// and bandwidth-convergence-time product (BCP).
+double a2a_bdp(const ModelParams& p);
+double gossip_bdp(const ModelParams& p);
+double hier_bdp(const ModelParams& p);
+double a2a_bcp(const ModelParams& p);
+double gossip_bcp(const ModelParams& p);
+double hier_bcp(const ModelParams& p);
+
+// One row of the Section-4 comparison table.
+struct SchemeRow {
+  std::string scheme;
+  double bandwidth_fixed_freq;  // B/s
+  double detection_fixed_freq;  // s
+  double convergence_fixed_freq;
+  double detection_at_budget;   // s
+  double bdp;
+  double bcp;
+};
+
+std::vector<SchemeRow> compare_schemes(const ModelParams& p);
+
+}  // namespace tamp::analysis

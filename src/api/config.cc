@@ -1,0 +1,149 @@
+#include "api/config.h"
+
+#include "util/strings.h"
+
+namespace tamp::api {
+
+using util::parse_double;
+using util::parse_int;
+using util::strformat;
+using util::to_lower;
+using util::trim;
+
+namespace {
+
+enum class Section { kNone, kSystem, kService };
+
+bool set_error(std::string* error, int line, const std::string& message) {
+  if (error != nullptr) {
+    *error = strformat("line %d: %s", line, message.c_str());
+  }
+  return false;
+}
+
+bool apply_system_key(SystemConfig& system, const std::string& key,
+                      const std::string& value, int line,
+                      std::string* error) {
+  std::string upper = key;
+  for (auto& c : upper) c = static_cast<char>(std::toupper(c));
+  auto need_int = [&](int& slot) {
+    auto v = parse_int(value);
+    if (!v) return set_error(error, line, "expected integer for " + key);
+    slot = static_cast<int>(*v);
+    return true;
+  };
+  if (upper == "SHM_KEY") return need_int(system.shm_key);
+  if (upper == "MAX_TTL") return need_int(system.max_ttl);
+  if (upper == "MCAST_PORT") return need_int(system.mcast_port);
+  if (upper == "MAX_LOSS") return need_int(system.max_loss);
+  if (upper == "MCAST_ADDR") {
+    system.mcast_addr = value;
+    return true;
+  }
+  if (upper == "MCAST_FREQ") {
+    auto v = parse_double(value);
+    if (!v || *v <= 0) {
+      return set_error(error, line, "expected positive number for " + key);
+    }
+    system.mcast_freq = *v;
+    return true;
+  }
+  return set_error(error, line, "unknown *SYSTEM key " + key);
+}
+
+}  // namespace
+
+std::optional<MembershipConfig> parse_config(std::string_view text,
+                                             std::string* error) {
+  MembershipConfig config;
+  Section section = Section::kNone;
+  ServiceConfig* current_service = nullptr;
+
+  int line_number = 0;
+  for (const auto& raw_line : util::split(text, '\n')) {
+    ++line_number;
+    std::string_view line = trim(raw_line);
+    if (line.empty() || line.front() == '#' || line.front() == ';') continue;
+
+    if (line.front() == '*') {
+      std::string name = to_lower(line.substr(1));
+      if (name == "system") {
+        section = Section::kSystem;
+      } else if (name == "service") {
+        section = Section::kService;
+      } else {
+        set_error(error, line_number, "unknown section " + std::string(line));
+        return std::nullopt;
+      }
+      current_service = nullptr;
+      continue;
+    }
+
+    if (line.front() == '[') {
+      if (section != Section::kService) {
+        set_error(error, line_number, "service block outside *SERVICE");
+        return std::nullopt;
+      }
+      if (line.back() != ']' || line.size() < 3) {
+        set_error(error, line_number, "malformed service header");
+        return std::nullopt;
+      }
+      ServiceConfig service;
+      service.name = std::string(trim(line.substr(1, line.size() - 2)));
+      config.services.push_back(std::move(service));
+      current_service = &config.services.back();
+      continue;
+    }
+
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      set_error(error, line_number, "expected KEY = VALUE");
+      return std::nullopt;
+    }
+    std::string key(trim(line.substr(0, eq)));
+    std::string value(trim(line.substr(eq + 1)));
+    if (key.empty()) {
+      set_error(error, line_number, "empty key");
+      return std::nullopt;
+    }
+
+    switch (section) {
+      case Section::kNone:
+        set_error(error, line_number, "key outside any section");
+        return std::nullopt;
+      case Section::kSystem:
+        if (!apply_system_key(config.system, key, value, line_number, error)) {
+          return std::nullopt;
+        }
+        break;
+      case Section::kService: {
+        if (current_service == nullptr) {
+          set_error(error, line_number, "key before any [service] header");
+          return std::nullopt;
+        }
+        std::string upper = key;
+        for (auto& c : upper) c = static_cast<char>(std::toupper(c));
+        if (upper == "PARTITION") {
+          current_service->partition_spec = value;
+        } else {
+          current_service->params[key] = value;
+        }
+        break;
+      }
+    }
+  }
+  return config;
+}
+
+net::ChannelId channel_for_mcast_addr(std::string_view addr) {
+  // FNV-1a over the address text, folded into a private channel range well
+  // away from the small literal ids used elsewhere.
+  uint32_t hash = 2166136261u;
+  for (char c : addr) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 16777619u;
+  }
+  return 0x10000u + (hash % 0x10000u);
+}
+
+}  // namespace tamp::api

@@ -1,0 +1,20 @@
+#include "api/directory_store.h"
+
+namespace tamp::api {
+
+void DirectoryStore::publish(net::HostId host, int shm_key,
+                             const membership::MembershipTable* table) {
+  segments_[{host, shm_key}] = table;
+}
+
+void DirectoryStore::withdraw(net::HostId host, int shm_key) {
+  segments_.erase({host, shm_key});
+}
+
+const membership::MembershipTable* DirectoryStore::attach(net::HostId host,
+                                                          int shm_key) const {
+  auto it = segments_.find({host, shm_key});
+  return it == segments_.end() ? nullptr : it->second;
+}
+
+}  // namespace tamp::api

@@ -1,0 +1,52 @@
+// MClient — the membership client library API of paper Figure 9:
+//
+//   typedef pair<char *key, void *value> Attribute;
+//   typedef vector<Attribute>* Machine;
+//   typedef vector<Machine> MachineList;
+//   class MClient {
+//     MClient(const char *shm_key);
+//     int lookup_service(const char *service, const char *partition,
+//                        MachineList *machines);
+//   };
+//
+// A client attaches read-only to the daemon's directory segment and looks
+// up providers by service-name regex + partition spec. Each matched machine
+// is rendered as a flat attribute list (machine configuration, service
+// registration, and published key/values), as the paper describes.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/directory_store.h"
+
+namespace tamp::api {
+
+using Attribute = std::pair<std::string, std::string>;
+using Machine = std::vector<Attribute>;
+using MachineList = std::vector<Machine>;
+
+class MClient {
+ public:
+  MClient(const DirectoryStore& store, net::HostId self, int shm_key);
+
+  // True when the daemon's segment exists (daemon has run()).
+  bool attached() const;
+
+  // Fills `machines` with the matching providers; returns the match count,
+  // or -1 when no directory segment is published under the shm key.
+  int lookup_service(const std::string& service_regex,
+                     const std::string& partition_spec,
+                     MachineList* machines) const;
+
+ private:
+  const DirectoryStore& store_;
+  net::HostId self_;
+  int shm_key_;
+};
+
+// Renders one directory entry as the flat attribute list MClient returns.
+Machine machine_from_entry(const membership::MembershipEntry& entry);
+
+}  // namespace tamp::api

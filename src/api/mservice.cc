@@ -1,0 +1,98 @@
+#include "api/mservice.h"
+
+#include "membership/codec.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace tamp::api {
+
+MService::MService(sim::Simulation& sim, net::Network& net,
+                   DirectoryStore& store, net::HostId self,
+                   const std::string& configuration)
+    : sim_(sim), net_(net), store_(store), self_(self) {
+  auto parsed = parse_config(configuration, &config_error_);
+  if (parsed) {
+    config_ = std::move(*parsed);
+  }  // else: defaults, with the reason kept in config_error_
+}
+
+MService::~MService() { shutdown(); }
+
+void MService::control(ControlCommand cmd, double arg) {
+  TAMP_CHECK_MSG(daemon_ == nullptr, "control() must precede run()");
+  switch (cmd) {
+    case ControlCommand::kSetFrequency:
+      TAMP_CHECK(arg > 0);
+      config_.system.mcast_freq = arg;
+      break;
+    case ControlCommand::kSetMaxLoss:
+      TAMP_CHECK(arg >= 1);
+      config_.system.max_loss = static_cast<int>(arg);
+      break;
+    case ControlCommand::kSetMaxTtl:
+      TAMP_CHECK(arg >= 1);
+      config_.system.max_ttl = static_cast<int>(arg);
+      break;
+  }
+}
+
+int MService::run() {
+  if (daemon_ != nullptr) return -1;
+
+  protocols::HierConfig hier;
+  hier.base_channel = channel_for_mcast_addr(config_.system.mcast_addr);
+  hier.data_port = static_cast<net::Port>(config_.system.mcast_port);
+  hier.control_port = static_cast<net::Port>(config_.system.mcast_port + 1);
+  hier.max_ttl = config_.system.max_ttl;
+  hier.period = static_cast<sim::Duration>(1e9 / config_.system.mcast_freq);
+  hier.max_losses = config_.system.max_loss;
+
+  membership::EntryData own = membership::make_representative_entry(self_, 1);
+  own.services.clear();
+
+  daemon_ = std::make_unique<protocols::HierDaemon>(sim_, net_, self_,
+                                                    std::move(own), hier);
+  for (const auto& service : config_.services) {
+    auto partitions = util::expand_partition_spec(service.partition_spec);
+    daemon_->register_service(
+        service.name, partitions.value_or(std::vector<int>{0}),
+        service.params);
+  }
+  daemon_->start();
+  store_.publish(self_, config_.system.shm_key, &daemon_->table());
+  return 0;
+}
+
+void MService::shutdown() {
+  if (daemon_ == nullptr) return;
+  store_.withdraw(self_, config_.system.shm_key);
+  daemon_->stop();
+  daemon_.reset();
+}
+
+int MService::register_service(const std::string& name,
+                               const std::string& partition_spec) {
+  if (daemon_ == nullptr) return -1;
+  auto partitions = util::expand_partition_spec(partition_spec);
+  daemon_->register_service(name, partitions.value_or(std::vector<int>{0}));
+  return 0;
+}
+
+int MService::update_value(const std::string& key, const std::string& value) {
+  if (daemon_ == nullptr) return -1;
+  daemon_->update_value(key, value);
+  return 0;
+}
+
+int MService::delete_value(const std::string& key) {
+  if (daemon_ == nullptr) return -1;
+  daemon_->delete_value(key);
+  return 0;
+}
+
+protocols::HierDaemon& MService::daemon() {
+  TAMP_CHECK_MSG(daemon_ != nullptr, "run() first");
+  return *daemon_;
+}
+
+}  // namespace tamp::api

@@ -1,0 +1,80 @@
+// MService — the membership service library API of paper Figure 8:
+//
+//   class MService {
+//     MService(const char *configuration);
+//     void control(int cmd, void *arg);
+//     int run(void);
+//     int register_service(const char *name, const char *partition);
+//     int update_value(const char *key, const void *value, int size);
+//     int delete_value(const char *key);
+//   };
+//
+// The simulated variant keeps those five operations with the same meaning,
+// adding only what the simulation needs instead of the OS: the Simulation,
+// Network, host identity, and the DirectoryStore that stands in for shared
+// memory. `run()` spins up the hierarchical daemon (the paper's
+// Announcer / Receiver / StatusTracker / Informer / Contender threads are
+// the daemon's timers and handlers in the event-driven world).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "api/config.h"
+#include "api/directory_store.h"
+#include "protocols/hier.h"
+
+namespace tamp::api {
+
+enum class ControlCommand {
+  kSetFrequency,   // arg: heartbeats per second (double)
+  kSetMaxLoss,     // arg: consecutive losses before death (int)
+  kSetMaxTtl,      // arg: formation TTL ceiling (int)
+};
+
+class MService {
+ public:
+  // Parses `configuration` (Figure-7 format). A malformed file falls back
+  // to defaults, like the paper's implementation ("if the configuration
+  // file is not available, default values will be used"); `config_error()`
+  // reports what went wrong.
+  MService(sim::Simulation& sim, net::Network& net, DirectoryStore& store,
+           net::HostId self, const std::string& configuration);
+  ~MService();
+
+  MService(const MService&) = delete;
+  MService& operator=(const MService&) = delete;
+
+  // Adjust parameters before run(); mirrors the paper's `control`.
+  void control(ControlCommand cmd, double arg);
+
+  // Start the membership daemon, publish the directory segment, and
+  // register the services from the configuration file. Returns 0 on
+  // success (paper-style), -1 if already running.
+  int run();
+  void shutdown();
+
+  int register_service(const std::string& name,
+                       const std::string& partition_spec);
+  int update_value(const std::string& key, const std::string& value);
+  int delete_value(const std::string& key);
+
+  bool running() const { return daemon_ != nullptr && daemon_->running(); }
+  const std::string& config_error() const { return config_error_; }
+  const MembershipConfig& config() const { return config_; }
+  int shm_key() const { return config_.system.shm_key; }
+
+  // Escape hatch for tests and composition with the proxy/service layers.
+  protocols::HierDaemon& daemon();
+
+ private:
+  sim::Simulation& sim_;
+  net::Network& net_;
+  DirectoryStore& store_;
+  net::HostId self_;
+  MembershipConfig config_;
+  std::string config_error_;
+  std::unique_ptr<protocols::HierDaemon> daemon_;
+};
+
+}  // namespace tamp::api

@@ -1,0 +1,282 @@
+#include "membership/messages.h"
+
+#include "membership/codec.h"
+
+namespace tamp::membership {
+namespace {
+
+void encode_entries(WireWriter& w, const std::vector<EntryData>& entries) {
+  w.varint(entries.size());
+  for (const auto& entry : entries) encode_entry(w, entry);
+}
+
+bool decode_entries(WireReader& r, std::vector<EntryData>& out) {
+  uint64_t n = r.varint();
+  for (uint64_t i = 0; i < n && r.ok(); ++i) {
+    auto entry = decode_entry(r);
+    if (!entry) return false;
+    out.push_back(std::move(*entry));
+  }
+  return r.ok();
+}
+
+void encode_summary(WireWriter& w, const ServiceSummary& summary) {
+  w.varint(summary.availability.size());
+  for (const auto& [service, partitions] : summary.availability) {
+    w.str(service);
+    w.varint(partitions.size());
+    for (const auto& [partition, count] : partitions) {
+      w.varint(static_cast<uint64_t>(partition));
+      w.varint(static_cast<uint64_t>(count));
+    }
+  }
+}
+
+ServiceSummary decode_summary(WireReader& r) {
+  ServiceSummary summary;
+  uint64_t services = r.varint();
+  for (uint64_t i = 0; i < services && r.ok(); ++i) {
+    std::string name = r.str();
+    uint64_t partitions = r.varint();
+    auto& slot = summary.availability[name];
+    for (uint64_t p = 0; p < partitions && r.ok(); ++p) {
+      int partition = static_cast<int>(r.varint());
+      int count = static_cast<int>(r.varint());
+      slot[partition] = count;
+    }
+  }
+  return summary;
+}
+
+struct Encoder {
+  WireWriter& w;
+
+  void operator()(const HeartbeatMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kHeartbeat));
+    encode_entry(w, m.entry);
+    w.u8(m.level);
+    w.u8(m.is_leader ? 1 : 0);
+    w.u8(m.leaving ? 1 : 0);
+    w.u32(m.backup);
+    w.u64(m.seq);
+  }
+  void operator()(const UpdateMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kUpdate));
+    w.u32(m.origin);
+    w.u64(m.origin_incarnation);
+    w.varint(m.records.size());
+    for (const auto& record : m.records) {
+      w.u64(record.seq);
+      w.u8(static_cast<uint8_t>(record.kind));
+      w.u32(record.subject);
+      w.u64(record.incarnation);
+      w.u8(record.entry.has_value() ? 1 : 0);
+      if (record.entry) encode_entry(w, *record.entry);
+    }
+  }
+  void operator()(const BootstrapRequestMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kBootstrapRequest));
+    w.u32(m.requester);
+    encode_entries(w, m.known);
+  }
+  void operator()(const BootstrapResponseMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kBootstrapResponse));
+    w.u32(m.responder);
+    encode_entries(w, m.entries);
+  }
+  void operator()(const SyncRequestMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kSyncRequest));
+    w.u32(m.requester);
+    w.u8(m.level);
+    w.u64(m.last_seq_seen);
+  }
+  void operator()(const SyncResponseMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kSyncResponse));
+    w.u32(m.responder);
+    w.u64(m.responder_incarnation);
+    w.u8(m.level);
+    w.u64(m.stream_seq);
+    encode_entries(w, m.entries);
+  }
+  void operator()(const ElectionMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kElection));
+    w.u32(m.candidate);
+    w.u8(m.level);
+  }
+  void operator()(const ElectionAnswerMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kElectionAnswer));
+    w.u32(m.responder);
+    w.u8(m.level);
+  }
+  void operator()(const CoordinatorMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kCoordinator));
+    w.u32(m.leader);
+    w.u8(m.level);
+    w.u32(m.backup);
+  }
+  void operator()(const GossipMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kGossip));
+    w.u32(m.sender);
+    w.varint(m.records.size());
+    for (const auto& record : m.records) {
+      encode_entry(w, record.entry);
+      w.u64(record.heartbeat_counter);
+    }
+  }
+  void operator()(const ProxyHeartbeatMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kProxyHeartbeat));
+    w.u16(m.dc);
+    w.u32(m.sender);
+    w.u64(m.seq);
+    encode_summary(w, m.summary);
+  }
+  void operator()(const ProxyUpdateMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kProxyUpdate));
+    w.u16(m.dc);
+    w.u32(m.sender);
+    w.u64(m.seq);
+    encode_summary(w, m.summary);
+  }
+};
+
+}  // namespace
+
+net::Payload encode_message(const Message& message, size_t pad_to) {
+  WireWriter w;
+  std::visit(Encoder{w}, message);
+  if (pad_to > 0) w.pad_to(pad_to);
+  return net::make_payload(w.take());
+}
+
+std::optional<Message> decode_message(const uint8_t* data, size_t size) {
+  if (data == nullptr || size == 0) return std::nullopt;
+  WireReader r(data, size);
+  auto type = static_cast<MessageType>(r.u8());
+  switch (type) {
+    case MessageType::kHeartbeat: {
+      HeartbeatMsg m;
+      auto entry = decode_entry(r);
+      if (!entry) return std::nullopt;
+      m.entry = std::move(*entry);
+      m.level = r.u8();
+      m.is_leader = r.u8() != 0;
+      m.leaving = r.u8() != 0;
+      m.backup = r.u32();
+      m.seq = r.u64();
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kUpdate: {
+      UpdateMsg m;
+      m.origin = r.u32();
+      m.origin_incarnation = r.u64();
+      uint64_t n = r.varint();
+      for (uint64_t i = 0; i < n && r.ok(); ++i) {
+        UpdateRecord record;
+        record.seq = r.u64();
+        record.kind = static_cast<UpdateKind>(r.u8());
+        if (record.kind != UpdateKind::kJoin &&
+            record.kind != UpdateKind::kLeave) {
+          return std::nullopt;
+        }
+        record.subject = r.u32();
+        record.incarnation = r.u64();
+        if (r.u8() != 0) {
+          auto entry = decode_entry(r);
+          if (!entry) return std::nullopt;
+          record.entry = std::move(*entry);
+        }
+        m.records.push_back(std::move(record));
+      }
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kBootstrapRequest: {
+      BootstrapRequestMsg m;
+      m.requester = r.u32();
+      if (!decode_entries(r, m.known)) return std::nullopt;
+      return m;
+    }
+    case MessageType::kBootstrapResponse: {
+      BootstrapResponseMsg m;
+      m.responder = r.u32();
+      if (!decode_entries(r, m.entries)) return std::nullopt;
+      return m;
+    }
+    case MessageType::kSyncRequest: {
+      SyncRequestMsg m;
+      m.requester = r.u32();
+      m.level = r.u8();
+      m.last_seq_seen = r.u64();
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kSyncResponse: {
+      SyncResponseMsg m;
+      m.responder = r.u32();
+      m.responder_incarnation = r.u64();
+      m.level = r.u8();
+      m.stream_seq = r.u64();
+      if (!decode_entries(r, m.entries)) return std::nullopt;
+      return m;
+    }
+    case MessageType::kElection: {
+      ElectionMsg m;
+      m.candidate = r.u32();
+      m.level = r.u8();
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kElectionAnswer: {
+      ElectionAnswerMsg m;
+      m.responder = r.u32();
+      m.level = r.u8();
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kCoordinator: {
+      CoordinatorMsg m;
+      m.leader = r.u32();
+      m.level = r.u8();
+      m.backup = r.u32();
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kGossip: {
+      GossipMsg m;
+      m.sender = r.u32();
+      uint64_t n = r.varint();
+      for (uint64_t i = 0; i < n && r.ok(); ++i) {
+        GossipRecord record;
+        auto entry = decode_entry(r);
+        if (!entry) return std::nullopt;
+        record.entry = std::move(*entry);
+        record.heartbeat_counter = r.u64();
+        m.records.push_back(std::move(record));
+      }
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kProxyHeartbeat: {
+      ProxyHeartbeatMsg m;
+      m.dc = r.u16();
+      m.sender = r.u32();
+      m.seq = r.u64();
+      m.summary = decode_summary(r);
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kProxyUpdate: {
+      ProxyUpdateMsg m;
+      m.dc = r.u16();
+      m.sender = r.u32();
+      m.seq = r.u64();
+      m.summary = decode_summary(r);
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace tamp::membership

@@ -1,0 +1,178 @@
+// Wire messages exchanged by the membership protocols.
+//
+// One envelope format (type byte + body) covers all three protocols and the
+// proxy layer; a daemon only ever decodes the types it handles. Encoded
+// sizes are real — they drive the bandwidth evaluation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "membership/types.h"
+#include "membership/wire.h"
+#include "net/packet.h"
+
+namespace tamp::membership {
+
+enum class MessageType : uint8_t {
+  kHeartbeat = 1,
+  kUpdate = 2,
+  kBootstrapRequest = 3,
+  kBootstrapResponse = 4,
+  kSyncRequest = 5,
+  kSyncResponse = 6,
+  kElection = 7,
+  kElectionAnswer = 8,
+  kCoordinator = 9,
+  kGossip = 10,
+  kProxyHeartbeat = 11,
+  kProxyUpdate = 12,
+};
+
+// Periodic liveness + node description. The all-to-all protocol uses only
+// `entry`; the hierarchical protocol adds group metadata: the sender's role
+// on the channel the packet was multicast on, its backup designation, and
+// the per-sender heartbeat sequence.
+struct HeartbeatMsg {
+  EntryData entry;
+  uint8_t level = 0;        // tree level of the channel this was sent on
+  bool is_leader = false;   // paper: "special flag in its heartbeat packets"
+  bool leaving = false;     // goodbye: sender is leaving this channel (alive)
+  NodeId backup = kInvalidNode;  // leader's designated backup (if leader)
+  // The sender's update-stream sequence number on this channel. Receivers
+  // compare it against their per-origin cursor, so an update lost during an
+  // otherwise quiet period is noticed within one heartbeat period instead
+  // of waiting for the next update to expose the gap.
+  uint64_t seq = 0;
+};
+
+// One membership change. Joins carry the full entry; leaves carry the
+// subject id + incarnation so stale joins can be rejected downstream.
+enum class UpdateKind : uint8_t { kJoin = 1, kLeave = 2 };
+
+struct UpdateRecord {
+  uint64_t seq = 0;  // position in the origin's update stream
+  UpdateKind kind = UpdateKind::kJoin;
+  NodeId subject = kInvalidNode;
+  Incarnation incarnation = 0;
+  std::optional<EntryData> entry;  // present for joins
+};
+
+// Update message: the origin's newest records, newest first. The tail
+// beyond the first record is the paper's piggyback of the previous three
+// updates, letting receivers absorb up to three consecutive packet losses.
+// `origin_incarnation` scopes the sequence numbers: a restarted origin
+// starts a fresh stream, and receivers must not judge it by the old
+// incarnation's cursor.
+struct UpdateMsg {
+  NodeId origin = kInvalidNode;
+  Incarnation origin_incarnation = 0;
+  std::vector<UpdateRecord> records;
+};
+
+// New node -> group leader: "send me everything you know". The requester
+// includes everything *it* knows, because it may itself be a lower-level
+// leader bringing a whole subtree with it (paper Bootstrap protocol).
+struct BootstrapRequestMsg {
+  NodeId requester = kInvalidNode;
+  std::vector<EntryData> known;
+};
+
+struct BootstrapResponseMsg {
+  NodeId responder = kInvalidNode;
+  std::vector<EntryData> entries;
+};
+
+// Receiver detected an unrecoverable update-stream gap and asks the sender
+// for a full image (paper Message Loss Detection). `level` names the
+// channel whose stream has the gap, so the response can re-anchor the
+// receiver's cursor for exactly that stream.
+struct SyncRequestMsg {
+  NodeId requester = kInvalidNode;
+  uint8_t level = 0;
+  uint64_t last_seq_seen = 0;
+};
+
+struct SyncResponseMsg {
+  NodeId responder = kInvalidNode;
+  Incarnation responder_incarnation = 0;
+  uint8_t level = 0;
+  uint64_t stream_seq = 0;  // responder's current update seq on `level`
+  std::vector<EntryData> entries;
+};
+
+// Bully election, scoped to one (channel, level) group.
+struct ElectionMsg {
+  NodeId candidate = kInvalidNode;
+  uint8_t level = 0;
+};
+struct ElectionAnswerMsg {
+  NodeId responder = kInvalidNode;
+  uint8_t level = 0;
+};
+struct CoordinatorMsg {
+  NodeId leader = kInvalidNode;
+  uint8_t level = 0;
+  NodeId backup = kInvalidNode;
+};
+
+// Gossip: the sender's full local view (one record per known node), which is
+// what makes gossip traffic O(n * m) per message — the paper's stated reason
+// it scales poorly inside a datacenter.
+struct GossipRecord {
+  EntryData entry;
+  uint64_t heartbeat_counter = 0;
+};
+struct GossipMsg {
+  NodeId sender = kInvalidNode;
+  std::vector<GossipRecord> records;
+};
+
+// --- proxy (cross-datacenter) messages ---------------------------------
+
+// Compact availability summary: per service, per partition, how many live
+// providers a datacenter has. "Generally, the summary does not include the
+// detailed machine information" (paper Section 3.2).
+struct ServiceSummary {
+  // service -> partition -> provider count
+  std::map<std::string, std::map<int, int>> availability;
+
+  bool operator==(const ServiceSummary&) const = default;
+};
+
+struct ProxyHeartbeatMsg {
+  uint16_t dc = 0;
+  NodeId sender = kInvalidNode;
+  uint64_t seq = 0;
+  ServiceSummary summary;
+};
+
+struct ProxyUpdateMsg {
+  uint16_t dc = 0;
+  NodeId sender = kInvalidNode;
+  uint64_t seq = 0;
+  ServiceSummary summary;  // summaries are small; updates resend the whole one
+};
+
+using Message =
+    std::variant<HeartbeatMsg, UpdateMsg, BootstrapRequestMsg,
+                 BootstrapResponseMsg, SyncRequestMsg, SyncResponseMsg,
+                 ElectionMsg, ElectionAnswerMsg, CoordinatorMsg, GossipMsg,
+                 ProxyHeartbeatMsg, ProxyUpdateMsg>;
+
+// Encode into a payload buffer. `pad_to` (when > 0) zero-pads the result to
+// a fixed size — used to equalize heartbeat packet sizes across protocols,
+// as in the paper's measurements (228-byte average).
+net::Payload encode_message(const Message& message, size_t pad_to = 0);
+
+// Decode; nullopt on any malformed input.
+std::optional<Message> decode_message(const uint8_t* data, size_t size);
+inline std::optional<Message> decode_message(const net::Packet& packet) {
+  return decode_message(packet.data(), packet.size());
+}
+
+}  // namespace tamp::membership

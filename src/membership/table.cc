@@ -1,0 +1,185 @@
+#include "membership/table.h"
+
+#include <algorithm>
+#include <regex>
+
+#include "util/strings.h"
+
+namespace tamp::membership {
+
+bool MembershipTable::tombstoned(NodeId node, Incarnation incarnation,
+                                 sim::Time now) const {
+  auto it = tombstones_.find(node);
+  return it != tombstones_.end() && now < it->second.expires &&
+         incarnation <= it->second.incarnation;
+}
+
+ApplyResult MembershipTable::apply(const EntryData& data, Liveness liveness,
+                                   NodeId relayed_by, sim::Time now,
+                                   bool override_tombstone) {
+  if (liveness == Liveness::kDirect || override_tombstone) {
+    // Hearing the node itself (or a solicited full exchange) is
+    // authoritative: clear any tombstone.
+    tombstones_.erase(data.node);
+  } else if (tombstoned(data.node, data.incarnation, now)) {
+    return ApplyResult::kStale;
+  }
+
+  auto it = entries_.find(data.node);
+  if (it == entries_.end()) {
+    MembershipEntry entry;
+    entry.data = data;
+    entry.liveness = liveness;
+    entry.relayed_by = relayed_by;
+    entry.last_heard = now;
+    entry.first_seen = now;
+    entries_.emplace(data.node, std::move(entry));
+    return ApplyResult::kAdded;
+  }
+
+  MembershipEntry& entry = it->second;
+  if (data.incarnation < entry.data.incarnation) return ApplyResult::kStale;
+
+  // A direct observation always wins over a relayed one; a relayed record of
+  // the same incarnation must not downgrade a direct entry's liveness.
+  bool upgrade = liveness == Liveness::kDirect;
+  if (!upgrade && entry.liveness == Liveness::kDirect &&
+      data.incarnation == entry.data.incarnation) {
+    // Still refresh content if it differs (e.g. a value update relayed
+    // before the next direct heartbeat), but keep direct liveness.
+    if (entry.data == data) {
+      entry.last_heard = now;
+      return ApplyResult::kRefreshed;
+    }
+    entry.data = data;
+    entry.last_heard = now;
+    return ApplyResult::kUpdated;
+  }
+
+  ApplyResult result = ApplyResult::kRefreshed;
+  if (data.incarnation > entry.data.incarnation || !(entry.data == data)) {
+    result = ApplyResult::kUpdated;
+  }
+  entry.data = data;
+  entry.liveness = liveness;
+  entry.relayed_by = relayed_by;
+  entry.last_heard = now;
+  return result;
+}
+
+bool MembershipTable::remove(NodeId node, Incarnation incarnation,
+                             sim::Time now) {
+  auto it = entries_.find(node);
+  if (it != entries_.end() && it->second.data.incarnation > incarnation) {
+    return false;  // we know a newer life of this node
+  }
+  Tombstone& tomb = tombstones_[node];
+  tomb.incarnation = std::max(tomb.incarnation, incarnation);
+  tomb.expires = now + tombstone_ttl_;
+  // Opportunistic GC of expired tombstones keeps the map bounded.
+  for (auto t = tombstones_.begin(); t != tombstones_.end();) {
+    if (now >= t->second.expires) {
+      t = tombstones_.erase(t);
+    } else {
+      ++t;
+    }
+  }
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+void MembershipTable::touch(NodeId node, sim::Time now) {
+  auto it = entries_.find(node);
+  if (it != entries_.end()) it->second.last_heard = now;
+}
+
+void MembershipTable::demote_to_relayed(NodeId node, NodeId relayed_by) {
+  auto it = entries_.find(node);
+  if (it != entries_.end() && it->second.liveness == Liveness::kDirect) {
+    it->second.liveness = Liveness::kRelayed;
+    it->second.relayed_by = relayed_by;
+  }
+}
+
+const MembershipEntry* MembershipTable::find(NodeId node) const {
+  auto it = entries_.find(node);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<NodeId> MembershipTable::node_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+std::vector<const MembershipEntry*> MembershipTable::lookup(
+    const std::string& service_regex,
+    const std::string& partition_spec) const {
+  std::vector<const MembershipEntry*> out;
+  std::regex pattern;
+  try {
+    pattern = std::regex(service_regex);
+  } catch (const std::regex_error&) {
+    return out;  // malformed pattern matches nothing
+  }
+  auto wanted = util::expand_partition_spec(partition_spec);
+
+  for (const auto& [id, entry] : entries_) {
+    for (const auto& service : entry.data.services) {
+      if (!std::regex_match(service.name, pattern)) continue;
+      bool partition_ok = !wanted.has_value();  // "*": any partition set
+      if (wanted) {
+        for (int p : service.partitions) {
+          if (std::binary_search(wanted->begin(), wanted->end(), p)) {
+            partition_ok = true;
+            break;
+          }
+        }
+      }
+      if (partition_ok) {
+        out.push_back(&entry);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> MembershipTable::expire(
+    sim::Time now,
+    const std::function<sim::Duration(const MembershipEntry&)>& timeout_for) {
+  std::vector<NodeId> expired;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    sim::Duration timeout = timeout_for(it->second);
+    if (timeout >= 0 && now - it->second.last_heard > timeout) {
+      expired.push_back(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+std::vector<NodeId> MembershipTable::purge_relayed_by(NodeId leader) {
+  std::vector<NodeId> purged;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.liveness == Liveness::kRelayed &&
+        it->second.relayed_by == leader) {
+      purged.push_back(it->first);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return purged;
+}
+
+void MembershipTable::clear() {
+  entries_.clear();
+  tombstones_.clear();
+}
+
+}  // namespace tamp::membership

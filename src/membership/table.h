@@ -1,0 +1,100 @@
+// The local yellow-page directory each node maintains.
+//
+// Soft state: entries are refreshed by heartbeats/updates and expire when
+// their refresh source goes quiet (the protocol decides the timeout policy;
+// the table just executes it). Incarnation numbers order information about
+// a node across restarts, and a *time-bounded* tombstone set prevents a
+// removed node from flapping back in when stale piggybacked joins are
+// replayed. Tombstones expire (so a healed network partition can
+// re-introduce nodes whose incarnation never changed), and a direct
+// observation — hearing the node's own heartbeat — always overrides one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "membership/types.h"
+#include "sim/time.h"
+
+namespace tamp::membership {
+
+enum class ApplyResult : uint8_t {
+  kAdded,      // node was not in the directory
+  kUpdated,    // contents changed (new incarnation or new data)
+  kRefreshed,  // same data; last_heard bumped
+  kStale,      // older incarnation than what we have (or tombstoned)
+};
+
+class MembershipTable {
+ public:
+  explicit MembershipTable(sim::Duration tombstone_ttl = 30 * sim::kSecond)
+      : tombstone_ttl_(tombstone_ttl) {}
+  // Merge `data` into the directory. `liveness`/`relayed_by` describe how
+  // this node learned it (paper: the SHM "local part" vs "external part").
+  // A direct observation upgrades a relayed entry; a relayed record never
+  // downgrades a direct one of the same incarnation. Direct observations
+  // always clear a tombstone; a relayed record does so only when
+  // `override_tombstone` is set (used for solicited bootstrap exchanges,
+  // which are authoritative in a way replayed piggybacked joins are not).
+  ApplyResult apply(const EntryData& data, Liveness liveness,
+                    NodeId relayed_by, sim::Time now,
+                    bool override_tombstone = false);
+
+  // Remove if our info about `node` is not newer than `incarnation`.
+  // Records a tombstone (valid for tombstone_ttl from `now`) so stale
+  // relayed joins of that incarnation stay out.
+  bool remove(NodeId node, Incarnation incarnation, sim::Time now);
+
+  // Refresh the last-heard stamp without touching contents.
+  void touch(NodeId node, sim::Time now);
+
+  // Downgrade a direct entry to relayed (the protocol no longer hears the
+  // node itself; its liveness is now second-hand). No-op otherwise.
+  void demote_to_relayed(NodeId node, NodeId relayed_by);
+
+  const MembershipEntry* find(NodeId node) const;
+  bool contains(NodeId node) const { return entries_.contains(node); }
+  size_t size() const { return entries_.size(); }
+  std::vector<NodeId> node_ids() const;
+
+  // All entries (sorted by node id, deterministic iteration).
+  const std::map<NodeId, MembershipEntry>& entries() const { return entries_; }
+
+  // Service lookup: `service_regex` is matched against the full service
+  // name; `partition_spec` ("*", "2", "1-3", "0,2") selects nodes hosting at
+  // least one listed partition. Returns matching entries sorted by node id.
+  std::vector<const MembershipEntry*> lookup(
+      const std::string& service_regex,
+      const std::string& partition_spec) const;
+
+  // Expire entries whose last_heard is older than the per-entry timeout the
+  // policy callback returns. Expired entries are removed (no tombstone: an
+  // expiry is a local timeout, not authoritative news of a newer state) and
+  // their ids are returned.
+  std::vector<NodeId> expire(
+      sim::Time now,
+      const std::function<sim::Duration(const MembershipEntry&)>& timeout_for);
+
+  // Purge all entries relayed by `leader` (paper: information relayed by a
+  // leader has the lifetime of that leader). Returns purged ids.
+  std::vector<NodeId> purge_relayed_by(NodeId leader);
+
+  void clear();
+
+ private:
+  struct Tombstone {
+    Incarnation incarnation = 0;
+    sim::Time expires = 0;
+  };
+
+  bool tombstoned(NodeId node, Incarnation incarnation, sim::Time now) const;
+
+  sim::Duration tombstone_ttl_;
+  std::map<NodeId, MembershipEntry> entries_;
+  std::map<NodeId, Tombstone> tombstones_;
+};
+
+}  // namespace tamp::membership

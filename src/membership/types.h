@@ -1,0 +1,74 @@
+// Core value types of the membership service's "yellow page" directory.
+//
+// A directory entry describes one cluster node: identity, incarnation (to
+// tell a restarted node from its previous life), machine configuration, the
+// service instances it exports, and arbitrary key/value attributes published
+// through MService::update_value.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace tamp::membership {
+
+// Node identity. Equal to the simulated HostId; its total order is what the
+// bully election uses (lowest id wins leadership).
+using NodeId = net::HostId;
+inline constexpr NodeId kInvalidNode = net::kInvalidHost;
+
+// Monotonically increasing per boot; lets the protocol reject stale
+// information about an older incarnation of a restarted node.
+using Incarnation = uint64_t;
+
+// One exported service instance: name plus the data partitions this node
+// hosts for it, plus service-specific parameters (e.g. HTTP "Port").
+struct ServiceRegistration {
+  std::string name;
+  std::vector<int> partitions;
+  std::map<std::string, std::string> params;
+
+  bool operator==(const ServiceRegistration&) const = default;
+};
+
+// Relatively stable machine configuration (the paper's announcer reads this
+// from /proc; we synthesize it).
+struct MachineInfo {
+  uint16_t cpus = 2;
+  uint32_t memory_mb = 2048;
+  std::string os = "linux-2.4.20";
+
+  bool operator==(const MachineInfo&) const = default;
+};
+
+// The serializable per-node record exchanged by all protocols.
+struct EntryData {
+  NodeId node = kInvalidNode;
+  Incarnation incarnation = 0;
+  MachineInfo machine;
+  std::vector<ServiceRegistration> services;
+  std::map<std::string, std::string> values;  // update_value key/values
+
+  bool operator==(const EntryData&) const = default;
+};
+
+// Why the local directory believes in an entry.
+enum class Liveness : uint8_t {
+  kDirect,   // we hear this node's own heartbeats on a shared channel
+  kRelayed,  // learned via a group leader; its lifetime is tied to that leader
+};
+
+// A directory entry: the shared data plus local soft-state bookkeeping.
+struct MembershipEntry {
+  EntryData data;
+  Liveness liveness = Liveness::kDirect;
+  NodeId relayed_by = kInvalidNode;  // leader this entry depends on
+  sim::Time last_heard = 0;          // local clock of last refresh
+  sim::Time first_seen = 0;
+};
+
+}  // namespace tamp::membership

@@ -1,0 +1,182 @@
+#include "net/builders.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace tamp::net {
+
+ClusterLayout build_single_segment(Topology& topology, int hosts,
+                                   DatacenterId dc,
+                                   const std::string& name_prefix) {
+  TAMP_CHECK(hosts > 0);
+  ClusterLayout layout;
+  layout.dc = dc;
+  DeviceId sw = topology.add_l2_switch(name_prefix + "-sw", dc);
+  layout.rack_switches.push_back(sw);
+  layout.racks.emplace_back();
+  for (int i = 0; i < hosts; ++i) {
+    HostId h = topology.add_host(
+        util::strformat("%s-%d", name_prefix.c_str(), i), dc);
+    topology.connect(h, sw);
+    layout.hosts.push_back(h);
+    layout.racks.back().push_back(h);
+  }
+  return layout;
+}
+
+ClusterLayout build_racked_cluster(Topology& topology,
+                                   const RackedClusterParams& params) {
+  TAMP_CHECK(params.racks > 0 && params.hosts_per_rack > 0);
+  ClusterLayout layout;
+  layout.dc = params.dc;
+  layout.core_router = topology.add_router(
+      util::strformat("%s-core", params.name_prefix.c_str()), params.dc);
+  for (int r = 0; r < params.racks; ++r) {
+    DeviceId sw = topology.add_l2_switch(
+        util::strformat("%s-rack%d", params.name_prefix.c_str(), r),
+        params.dc);
+    layout.rack_switches.push_back(sw);
+    layout.rack_uplinks.push_back(
+        topology.connect(sw, layout.core_router, params.uplink));
+    layout.racks.emplace_back();
+    for (int i = 0; i < params.hosts_per_rack; ++i) {
+      HostId h = topology.add_host(
+          util::strformat("%s-r%d-%d", params.name_prefix.c_str(), r, i),
+          params.dc);
+      topology.connect(h, sw, params.access_link);
+      layout.hosts.push_back(h);
+      layout.racks.back().push_back(h);
+    }
+  }
+  return layout;
+}
+
+namespace {
+
+// Recursively builds the router tree; returns the subtree root.
+DeviceId build_router_subtree(Topology& topology, int branching, int depth,
+                              int hosts_per_leaf, DatacenterId dc,
+                              const std::string& prefix,
+                              ClusterLayout& layout) {
+  DeviceId router =
+      topology.add_router(prefix + "-r", dc);
+  if (depth == 0) {
+    DeviceId sw = topology.add_l2_switch(prefix + "-sw", dc);
+    topology.connect(sw, router, LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
+    layout.rack_switches.push_back(sw);
+    layout.racks.emplace_back();
+    for (int i = 0; i < hosts_per_leaf; ++i) {
+      HostId h = topology.add_host(util::strformat("%s-%d", prefix.c_str(), i),
+                                   dc);
+      topology.connect(h, sw);
+      layout.hosts.push_back(h);
+      layout.racks.back().push_back(h);
+    }
+    return router;
+  }
+  for (int c = 0; c < branching; ++c) {
+    DeviceId child = build_router_subtree(
+        topology, branching, depth - 1, hosts_per_leaf, dc,
+        util::strformat("%s%d", prefix.c_str(), c), layout);
+    topology.connect(router, child,
+                     LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
+  }
+  return router;
+}
+
+}  // namespace
+
+ClusterLayout build_router_tree(Topology& topology, int branching, int depth,
+                                int hosts_per_leaf, DatacenterId dc,
+                                const std::string& name_prefix) {
+  TAMP_CHECK(branching > 0 && depth >= 0 && hosts_per_leaf > 0);
+  ClusterLayout layout;
+  layout.dc = dc;
+  layout.core_router = build_router_subtree(
+      topology, branching, depth, hosts_per_leaf, dc, name_prefix, layout);
+  return layout;
+}
+
+ClusterLayout build_router_chain(Topology& topology, int segments,
+                                 int hosts_per_segment, DatacenterId dc,
+                                 const std::string& name_prefix) {
+  TAMP_CHECK(segments > 0 && hosts_per_segment > 0);
+  ClusterLayout layout;
+  layout.dc = dc;
+  DeviceId previous = kInvalidDevice;
+  for (int s = 0; s < segments; ++s) {
+    DeviceId router = topology.add_router(
+        util::strformat("%s-r%d", name_prefix.c_str(), s), dc);
+    if (previous != kInvalidDevice) {
+      topology.connect(previous, router,
+                       LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
+    }
+    previous = router;
+    DeviceId sw = topology.add_l2_switch(
+        util::strformat("%s-sw%d", name_prefix.c_str(), s), dc);
+    topology.connect(sw, router, LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
+    layout.rack_switches.push_back(sw);
+    layout.racks.emplace_back();
+    for (int i = 0; i < hosts_per_segment; ++i) {
+      HostId h = topology.add_host(
+          util::strformat("%s-s%d-%d", name_prefix.c_str(), s, i), dc);
+      topology.connect(h, sw);
+      layout.hosts.push_back(h);
+      layout.racks.back().push_back(h);
+    }
+  }
+  return layout;
+}
+
+Fig4Layout build_fig4_overlap(Topology& topology, int hosts_per_segment) {
+  TAMP_CHECK(hosts_per_segment > 0);
+  Fig4Layout layout;
+  DeviceId ra = topology.add_router("fig4-ra");
+  DeviceId rb = topology.add_router("fig4-rb");
+  DeviceId rc = topology.add_router("fig4-rc");
+  topology.connect(rb, ra, LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
+  topology.connect(ra, rc, LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
+
+  auto segment = [&](const char* name, DeviceId router,
+                     std::vector<HostId>& out) {
+    DeviceId sw = topology.add_l2_switch(std::string("fig4-s") + name);
+    topology.connect(sw, router, LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
+    for (int i = 0; i < hosts_per_segment; ++i) {
+      HostId h = topology.add_host(util::strformat("fig4-%s%d", name, i));
+      topology.connect(h, sw);
+      out.push_back(h);
+      layout.all.push_back(h);
+    }
+  };
+  // Intentional ordering: segment A hosts get the lowest ids, so A's nodes
+  // win bully elections and the paper's "node A leads both overlapping
+  // groups" case is reachable deterministically in tests.
+  segment("a", ra, layout.segment_a);
+  segment("b", rb, layout.segment_b);
+  segment("c", rc, layout.segment_c);
+  return layout;
+}
+
+MultiDcLayout build_multi_datacenter(
+    Topology& topology, const std::vector<RackedClusterParams>& dcs,
+    const WanParams& wan) {
+  TAMP_CHECK(!dcs.empty());
+  MultiDcLayout layout;
+  for (const auto& params : dcs) {
+    layout.clusters.push_back(build_racked_cluster(topology, params));
+    DeviceId border = topology.add_router(
+        util::strformat("%s-border", params.name_prefix.c_str()), params.dc);
+    topology.connect(layout.clusters.back().core_router, border,
+                     wan.border_link);
+    layout.border_routers.push_back(border);
+  }
+  for (size_t i = 0; i < layout.border_routers.size(); ++i) {
+    for (size_t j = i + 1; j < layout.border_routers.size(); ++j) {
+      layout.wan_links.push_back(topology.connect(
+          layout.border_routers[i], layout.border_routers[j], wan.wan_link));
+    }
+  }
+  return layout;
+}
+
+}  // namespace tamp::net

@@ -1,0 +1,90 @@
+// Canned topology builders used by tests, examples, and the evaluation
+// harness.
+//
+// The paper's testbed is a rack-mounted cluster: hosts on 100 Mb L2 access
+// switches, racks joined through an L3 core on gigabit uplinks, and (for the
+// proxy experiments) two such clusters joined by a high-latency WAN path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace tamp::net {
+
+struct ClusterLayout {
+  DatacenterId dc = 0;
+  std::vector<HostId> hosts;
+  std::vector<std::vector<HostId>> racks;  // hosts grouped by rack
+  std::vector<DeviceId> rack_switches;
+  std::vector<LinkId> rack_uplinks;        // rack switch -> core, per rack
+  DeviceId core_router = kInvalidDevice;
+};
+
+struct RackedClusterParams {
+  int racks = 5;
+  int hosts_per_rack = 20;
+  DatacenterId dc = 0;
+  std::string name_prefix = "node";
+  LinkParams access_link{50 * sim::kMicrosecond, 100e6, 0.0};   // host-switch
+  LinkParams uplink{20 * sim::kMicrosecond, 1e9, 0.0};          // switch-core
+};
+
+// All hosts on one L2 switch: every pair is TTL 1 (a single level-0 group).
+ClusterLayout build_single_segment(Topology& topology, int hosts,
+                                   DatacenterId dc = 0,
+                                   const std::string& name_prefix = "node");
+
+// `racks` L2 switches under one L3 core router. Same rack: TTL 1; across
+// racks: TTL 2. This reproduces the paper's evaluation layout (five networks
+// of twenty nodes forming a second-level network).
+ClusterLayout build_racked_cluster(Topology& topology,
+                                   const RackedClusterParams& params);
+
+// A deeper hierarchy: a complete `branching`-ary tree of routers of the
+// given `depth`, with one leaf L2 switch + `hosts_per_leaf` hosts under each
+// leaf router. Exercises >2 membership levels.
+ClusterLayout build_router_tree(Topology& topology, int branching, int depth,
+                                int hosts_per_leaf, DatacenterId dc = 0,
+                                const std::string& name_prefix = "node");
+
+// The general (non-tree-transitive) example of paper Figure 4: three
+// segments A, B, C on a router chain Rb — Ra — Rc, so
+// ttl(A,B) = ttl(A,C) = 3 but ttl(B,C) = 4, making level-2 groups overlap.
+struct Fig4Layout {
+  std::vector<HostId> segment_a;
+  std::vector<HostId> segment_b;
+  std::vector<HostId> segment_c;
+  std::vector<HostId> all;
+};
+Fig4Layout build_fig4_overlap(Topology& topology, int hosts_per_segment = 2);
+
+// A chain of routers R0 - R1 - ... - R(k-1), each with one L2 segment of
+// hosts: the harshest overlap stress for TTL group formation, because
+// ttl(i, j) = |i - j| + 2 makes every intermediate level's groups overlap
+// (the general-topology case of paper Sec. 3.1.1, scaled up from Fig. 4).
+ClusterLayout build_router_chain(Topology& topology, int segments,
+                                 int hosts_per_segment, DatacenterId dc = 0,
+                                 const std::string& name_prefix = "chain");
+
+// Multiple racked clusters joined over a WAN: each cluster's core router
+// attaches to a border router, and border routers are fully meshed with
+// high-latency links (the paper's VPN-over-Internet, ~90 ms RTT coast to
+// coast). Cross-DC host pairs need TTL >= 5, so an intra-DC MAX_TTL keeps
+// the membership trees per-datacenter.
+struct WanParams {
+  LinkParams wan_link{45 * sim::kMillisecond, 100e6, 0.0};
+  LinkParams border_link{100 * sim::kMicrosecond, 1e9, 0.0};
+};
+struct MultiDcLayout {
+  std::vector<ClusterLayout> clusters;
+  std::vector<DeviceId> border_routers;
+  std::vector<LinkId> wan_links;
+};
+MultiDcLayout build_multi_datacenter(Topology& topology,
+                                     const std::vector<RackedClusterParams>& dcs,
+                                     const WanParams& wan = {});
+
+}  // namespace tamp::net

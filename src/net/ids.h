@@ -1,0 +1,55 @@
+// Identifier types for the simulated network.
+//
+// Strong typedefs (enum-class-over-int style structs) would be heavier than
+// needed here; we use distinct integer aliases plus a few wrapper structs
+// where confusion is actually possible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace tamp::net {
+
+// Index of a device (host, L2 switch, or router) in the Topology.
+using DeviceId = uint32_t;
+inline constexpr DeviceId kInvalidDevice = UINT32_MAX;
+
+// Hosts are devices, but protocol code deals only in HostIds. A HostId is
+// the DeviceId of a host device (the topology validates this).
+using HostId = uint32_t;
+inline constexpr HostId kInvalidHost = UINT32_MAX;
+
+using LinkId = uint32_t;
+
+// Multicast channel ("group address"). The hierarchical protocol derives one
+// channel per tree level from a base channel: channel = base + level.
+using ChannelId = uint32_t;
+
+using Port = uint16_t;
+
+// Datacenter label; hosts in different datacenters are joined by WAN links.
+using DatacenterId = uint16_t;
+
+// Virtual IPs support the proxy protocol's IP-failover: a stable address
+// whose current owner can be reassigned (Section 3.2 of the paper).
+using VirtualIpId = uint32_t;
+inline constexpr VirtualIpId kInvalidVirtualIp = UINT32_MAX;
+
+// (host, port) pair — the unicast address of a bound socket.
+struct Address {
+  HostId host = kInvalidHost;
+  Port port = 0;
+
+  bool operator==(const Address&) const = default;
+};
+
+}  // namespace tamp::net
+
+template <>
+struct std::hash<tamp::net::Address> {
+  size_t operator()(const tamp::net::Address& a) const noexcept {
+    return std::hash<uint64_t>{}((static_cast<uint64_t>(a.host) << 16) |
+                                 a.port);
+  }
+};

@@ -1,0 +1,40 @@
+// The unit of delivery on the simulated network.
+//
+// Payload bytes are shared (not copied) across the receivers of a multicast
+// fan-out. `wire_bytes` is what the bandwidth accounting charges: payload
+// plus per-fragment UDP/IP/Ethernet overhead, matching how the paper counts
+// heartbeat bandwidth on real links.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/ids.h"
+#include "sim/time.h"
+
+namespace tamp::net {
+
+using Payload = std::shared_ptr<const std::vector<uint8_t>>;
+
+inline Payload make_payload(std::vector<uint8_t> bytes) {
+  return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
+enum class DeliveryKind : uint8_t { kUnicast, kMulticast };
+
+struct Packet {
+  Address from;
+  Address to;               // for multicast: to.host is the receiver
+  DeliveryKind kind = DeliveryKind::kUnicast;
+  ChannelId channel = 0;    // multicast only
+  uint8_t ttl = 0;          // TTL the sender used (multicast only)
+  Payload payload;
+  size_t wire_bytes = 0;    // payload + header overhead, all fragments
+  sim::Time sent_at = 0;
+
+  size_t size() const { return payload ? payload->size() : 0; }
+  const uint8_t* data() const { return payload ? payload->data() : nullptr; }
+};
+
+}  // namespace tamp::net

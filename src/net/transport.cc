@@ -1,0 +1,218 @@
+#include "net/transport.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace tamp::net {
+
+Network::Network(sim::Simulation& sim, Topology& topology,
+                 NetworkConfig config)
+    : sim_(sim), topology_(topology), config_(config) {
+  hosts_.resize(topology_.device_count());
+}
+
+void Network::bind(HostId host, Port port, RecvCallback callback) {
+  TAMP_CHECK(topology_.is_host(host));
+  TAMP_CHECK(host < hosts_.size());
+  auto [it, inserted] =
+      hosts_[host].sockets.emplace(port, std::move(callback));
+  TAMP_CHECK_MSG(inserted, "port already bound");
+  (void)it;
+}
+
+void Network::unbind(HostId host, Port port) {
+  TAMP_CHECK(host < hosts_.size());
+  hosts_[host].sockets.erase(port);
+}
+
+void Network::join_group(HostId host, ChannelId channel) {
+  TAMP_CHECK(host < hosts_.size());
+  if (hosts_[host].groups.insert(channel).second) {
+    channel_members_[channel].push_back(host);
+  }
+}
+
+void Network::leave_group(HostId host, ChannelId channel) {
+  TAMP_CHECK(host < hosts_.size());
+  if (hosts_[host].groups.erase(channel) > 0) {
+    auto& members = channel_members_[channel];
+    members.erase(std::find(members.begin(), members.end(), host));
+  }
+}
+
+bool Network::in_group(HostId host, ChannelId channel) const {
+  TAMP_CHECK(host < hosts_.size());
+  return hosts_[host].groups.contains(channel);
+}
+
+size_t Network::fragments_for(size_t payload_size) const {
+  if (payload_size == 0) return 1;
+  return (payload_size + config_.mtu - 1) / config_.mtu;
+}
+
+size_t Network::wire_bytes_for(size_t payload_size) const {
+  return payload_size + fragments_for(payload_size) *
+                            config_.per_fragment_overhead;
+}
+
+bool Network::survives(const PathInfo& path, size_t fragments) {
+  for (size_t i = 0; i < fragments; ++i) {
+    if (!sim_.rng().bernoulli(path.survival)) return false;
+    if (config_.extra_loss > 0.0 && sim_.rng().bernoulli(config_.extra_loss)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Network::send_unicast(HostId from, Address to, Payload payload) {
+  TAMP_CHECK(from < hosts_.size() && to.host < hosts_.size());
+  if (!hosts_[from].up) return false;
+
+  const size_t wire = wire_bytes_for(payload ? payload->size() : 0);
+  hosts_[from].stats.tx_messages += 1;
+  hosts_[from].stats.tx_wire_bytes += wire;
+  total_.tx_messages += 1;
+  total_.tx_wire_bytes += wire;
+
+  PathInfo path = topology_.path(from, to.host);
+  if (!path.reachable) return true;  // sent into the void, UDP-style
+
+  Packet packet;
+  packet.from = Address{from, 0};
+  packet.to = to;
+  packet.kind = DeliveryKind::kUnicast;
+  packet.payload = std::move(payload);
+  packet.wire_bytes = wire;
+  packet.sent_at = sim_.now();
+
+  if (!survives(path, fragments_for(packet.size()))) {
+    hosts_[to.host].stats.dropped_messages += 1;
+    total_.dropped_messages += 1;
+    return true;
+  }
+
+  sim::Duration delay = config_.min_delivery_delay + path.latency;
+  if (path.min_bandwidth_bps > 0) {
+    delay += static_cast<sim::Duration>(static_cast<double>(wire) * 8.0 /
+                                        path.min_bandwidth_bps * 1e9);
+  }
+  sim_.schedule_after(delay,
+                      [this, packet = std::move(packet)] { deliver(packet); });
+  return true;
+}
+
+bool Network::send_multicast(HostId from, ChannelId channel, uint8_t ttl,
+                             Port port, Payload payload) {
+  TAMP_CHECK(from < hosts_.size());
+  TAMP_CHECK_MSG(ttl > 0, "multicast needs ttl >= 1");
+  if (!hosts_[from].up) return false;
+
+  const size_t wire = wire_bytes_for(payload ? payload->size() : 0);
+  hosts_[from].stats.tx_messages += 1;
+  hosts_[from].stats.tx_wire_bytes += wire;
+  total_.tx_messages += 1;
+  total_.tx_wire_bytes += wire;
+
+  const size_t fragments = fragments_for(payload ? payload->size() : 0);
+  auto members = channel_members_.find(channel);
+  if (members == channel_members_.end()) return true;
+  for (HostId receiver : members->second) {
+    if (receiver == from) continue;
+    PathInfo path = topology_.path(from, receiver);
+    if (!path.reachable || path.router_hops + 1 > static_cast<int>(ttl)) {
+      continue;  // out of TTL scope: routers discarded the packet
+    }
+    if (!survives(path, fragments)) {
+      hosts_[receiver].stats.dropped_messages += 1;
+      total_.dropped_messages += 1;
+      continue;
+    }
+    Packet packet;
+    packet.from = Address{from, 0};
+    packet.to = Address{receiver, port};
+    packet.kind = DeliveryKind::kMulticast;
+    packet.channel = channel;
+    packet.ttl = ttl;
+    packet.payload = payload;
+    packet.wire_bytes = wire;
+    packet.sent_at = sim_.now();
+
+    sim::Duration delay = config_.min_delivery_delay + path.latency;
+    if (path.min_bandwidth_bps > 0) {
+      delay += static_cast<sim::Duration>(static_cast<double>(wire) * 8.0 /
+                                          path.min_bandwidth_bps * 1e9);
+    }
+    sim_.schedule_after(
+        delay, [this, packet = std::move(packet)] { deliver(packet); });
+  }
+  return true;
+}
+
+VirtualIpId Network::allocate_virtual_ip() {
+  virtual_ips_.push_back(kInvalidHost);
+  return static_cast<VirtualIpId>(virtual_ips_.size() - 1);
+}
+
+void Network::assign_virtual_ip(VirtualIpId vip, HostId owner) {
+  TAMP_CHECK(vip < virtual_ips_.size());
+  virtual_ips_[vip] = owner;
+}
+
+HostId Network::virtual_ip_owner(VirtualIpId vip) const {
+  TAMP_CHECK(vip < virtual_ips_.size());
+  return virtual_ips_[vip];
+}
+
+bool Network::send_to_virtual(HostId from, VirtualIpId vip, Port port,
+                              Payload payload) {
+  HostId owner = virtual_ip_owner(vip);
+  if (owner == kInvalidHost) return true;  // unowned VIP: packet vanishes
+  return send_unicast(from, Address{owner, port}, std::move(payload));
+}
+
+void Network::set_host_up(HostId host, bool up) {
+  TAMP_CHECK(host < hosts_.size());
+  hosts_[host].up = up;
+}
+
+bool Network::host_up(HostId host) const {
+  TAMP_CHECK(host < hosts_.size());
+  return hosts_[host].up;
+}
+
+TrafficStats& Network::stats(HostId host) {
+  TAMP_CHECK(host < hosts_.size());
+  return hosts_[host].stats;
+}
+
+void Network::reset_stats() {
+  total_.reset();
+  for (auto& h : hosts_) h.stats.reset();
+}
+
+void Network::deliver(Packet packet) {
+  HostState& receiver = hosts_[packet.to.host];
+  if (!receiver.up) return;
+  if (packet.kind == DeliveryKind::kMulticast &&
+      !receiver.groups.contains(packet.channel)) {
+    return;  // left the group while the packet was in flight
+  }
+
+  receiver.stats.rx_messages += 1;
+  receiver.stats.rx_wire_bytes += packet.wire_bytes;
+  total_.rx_messages += 1;
+  total_.rx_wire_bytes += packet.wire_bytes;
+  if (packet.kind == DeliveryKind::kMulticast) {
+    receiver.stats.rx_multicast_messages += 1;
+    total_.rx_multicast_messages += 1;
+  }
+
+  auto socket = receiver.sockets.find(packet.to.port);
+  if (socket == receiver.sockets.end()) return;
+  socket->second(packet);
+}
+
+}  // namespace tamp::net

@@ -1,0 +1,122 @@
+// Datagram transport over a Topology: lossy unreliable unicast (UDP-like)
+// and TTL-scoped multicast, plus virtual-IP indirection for the proxy
+// protocol's IP failover.
+//
+// Delivery semantics:
+//  * A multicast packet sent on (channel, ttl) reaches every live host that
+//    joined `channel` and is within `ttl` router-hops of the sender — the
+//    scoping trick the whole hierarchical protocol is built on.
+//  * Messages larger than the MTU fragment; the message is lost if any
+//    fragment is lost (IP fragmentation semantics), and bandwidth is charged
+//    per fragment.
+//  * Per-host and global byte/packet counters feed the bandwidth figures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/packet.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace tamp::net {
+
+struct NetworkConfig {
+  size_t mtu = 1500;                    // bytes of payload per fragment (IP)
+  size_t per_fragment_overhead = 46;    // Ethernet(18) + IP(20) + UDP(8)
+  double extra_loss = 0.0;              // loss injected on top of link loss
+  sim::Duration min_delivery_delay = 5 * sim::kMicrosecond;
+};
+
+// Cumulative traffic counters. `rx_*` count packets actually delivered to a
+// bound socket; `rx_wire_*` count traffic arriving at the NIC (including
+// packets for channels the host joined but with no socket bound — these
+// still consume link bandwidth, as in Figure 2's measurement).
+struct TrafficStats {
+  uint64_t tx_messages = 0;
+  uint64_t tx_wire_bytes = 0;
+  uint64_t rx_messages = 0;
+  uint64_t rx_wire_bytes = 0;
+  uint64_t rx_multicast_messages = 0;
+  uint64_t dropped_messages = 0;  // lost in flight towards this host
+
+  void reset() { *this = TrafficStats(); }
+};
+
+class Network {
+ public:
+  using RecvCallback = std::function<void(const Packet&)>;
+
+  Network(sim::Simulation& sim, Topology& topology, NetworkConfig config = {});
+
+  sim::Simulation& sim() { return sim_; }
+  Topology& topology() { return topology_; }
+  const NetworkConfig& config() const { return config_; }
+  void set_extra_loss(double p) { config_.extra_loss = p; }
+
+  // --- sockets ---------------------------------------------------------
+  void bind(HostId host, Port port, RecvCallback callback);
+  void unbind(HostId host, Port port);
+
+  // --- multicast membership ---------------------------------------------
+  void join_group(HostId host, ChannelId channel);
+  void leave_group(HostId host, ChannelId channel);
+  bool in_group(HostId host, ChannelId channel) const;
+
+  // --- sending -----------------------------------------------------------
+  // Returns false if the sender is down (nothing sent).
+  bool send_unicast(HostId from, Address to, Payload payload);
+  bool send_multicast(HostId from, ChannelId channel, uint8_t ttl, Port port,
+                      Payload payload);
+
+  // --- virtual IPs ---------------------------------------------------------
+  VirtualIpId allocate_virtual_ip();
+  // Reassign ownership (kInvalidHost releases it).
+  void assign_virtual_ip(VirtualIpId vip, HostId owner);
+  HostId virtual_ip_owner(VirtualIpId vip) const;
+  bool send_to_virtual(HostId from, VirtualIpId vip, Port port,
+                       Payload payload);
+
+  // --- failure injection ----------------------------------------------------
+  // A down host neither sends nor receives; its sockets and group
+  // memberships are preserved and resume when it comes back up.
+  void set_host_up(HostId host, bool up);
+  bool host_up(HostId host) const;
+
+  // --- accounting -------------------------------------------------------
+  TrafficStats& stats(HostId host);
+  const TrafficStats& total_stats() const { return total_; }
+  void reset_stats();
+
+ private:
+  struct HostState {
+    bool up = true;
+    std::unordered_map<Port, RecvCallback> sockets;
+    std::unordered_set<ChannelId> groups;
+    TrafficStats stats;
+  };
+
+  // Per-channel membership index so multicast fan-out touches only the
+  // subscribed hosts (a 4000-node cluster has thousands of hosts but each
+  // hierarchical channel only ~20 members).
+  std::unordered_map<ChannelId, std::vector<HostId>> channel_members_;
+
+  size_t wire_bytes_for(size_t payload_size) const;
+  size_t fragments_for(size_t payload_size) const;
+  // Applies path loss (per fragment) + extra loss; true if delivered.
+  bool survives(const PathInfo& path, size_t fragments);
+  void deliver(Packet packet);
+
+  sim::Simulation& sim_;
+  Topology& topology_;
+  NetworkConfig config_;
+  std::vector<HostState> hosts_;
+  std::vector<HostId> virtual_ips_;
+  TrafficStats total_;
+};
+
+}  // namespace tamp::net

@@ -1,0 +1,53 @@
+// The all-to-all membership protocol (paper Section 2).
+//
+// Every node multicasts one heartbeat per period to a single cluster-wide
+// channel and independently builds its directory from the heartbeats it
+// receives. A node is declared dead after `max_losses` consecutive missed
+// heartbeats. Simple, fully distributed, best failure isolation — and
+// O(N^2) aggregate traffic, which is what Figure 2 demonstrates.
+#pragma once
+
+#include <memory>
+
+#include "protocols/daemon.h"
+#include "protocols/ports.h"
+#include "sim/timer.h"
+
+namespace tamp::protocols {
+
+struct AllToAllConfig {
+  net::ChannelId channel = kAllToAllChannel;
+  net::Port port = kDataPort;
+  uint8_t ttl = 32;  // must cover the whole cluster
+  sim::Duration period = sim::kSecond;
+  int max_losses = 5;
+  sim::Duration scan_interval = 100 * sim::kMillisecond;
+  size_t heartbeat_pad = 0;  // pad heartbeats to a fixed size (0 = off)
+};
+
+class AllToAllDaemon : public MembershipDaemon {
+ public:
+  AllToAllDaemon(sim::Simulation& sim, net::Network& net,
+                 membership::NodeId self, membership::EntryData own,
+                 AllToAllConfig config = {});
+  ~AllToAllDaemon() override;
+
+  void start() override;
+  void stop() override;
+
+  const AllToAllConfig& config() const { return config_; }
+  uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+
+ private:
+  void announce();
+  void scan();
+  void on_packet(const net::Packet& packet);
+
+  AllToAllConfig config_;
+  sim::PeriodicTimer announce_timer_;
+  sim::PeriodicTimer scan_timer_;
+  uint64_t seq_ = 0;
+  uint64_t heartbeats_sent_ = 0;
+};
+
+}  // namespace tamp::protocols

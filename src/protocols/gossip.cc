@@ -1,0 +1,170 @@
+#include "protocols/gossip.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tamp::protocols {
+
+using membership::ApplyResult;
+using membership::decode_message;
+using membership::encode_message;
+using membership::GossipMsg;
+using membership::GossipRecord;
+using membership::Liveness;
+
+GossipDaemon::GossipDaemon(sim::Simulation& sim, net::Network& net,
+                           membership::NodeId self, membership::EntryData own,
+                           GossipConfig config)
+    : MembershipDaemon(sim, net, self, std::move(own)),
+      config_(config),
+      round_timer_(sim, config.period, [this] { round(); }),
+      scan_timer_(sim, config.scan_interval, [this] { scan(); }) {}
+
+GossipDaemon::~GossipDaemon() { stop(); }
+
+void GossipDaemon::start() {
+  if (running()) return;
+  base_start();
+  net_.bind(self_, config_.port, [this](const net::Packet& p) { on_packet(p); });
+  round_timer_.start_with_random_phase();
+  scan_timer_.start_with_random_phase();
+}
+
+void GossipDaemon::stop() {
+  if (!running()) return;
+  round_timer_.stop();
+  scan_timer_.stop();
+  net_.unbind(self_, config_.port);
+  base_stop();
+}
+
+void GossipDaemon::add_seed(const membership::EntryData& entry) {
+  if (entry.node == self_) return;
+  if (table_.apply(entry, Liveness::kDirect, membership::kInvalidNode,
+                   sim_.now()) == ApplyResult::kAdded) {
+    peers_[entry.node] = PeerState{0, sim_.now()};
+    notify(entry.node, true);
+  }
+}
+
+sim::Duration GossipDaemon::effective_tfail() const {
+  if (config_.tfail > 0) return config_.tfail;
+  double n = std::max<double>(2.0, static_cast<double>(table_.size()));
+  double periods = config_.tfail_c0 + config_.tfail_c1 * std::log2(n);
+  return static_cast<sim::Duration>(periods *
+                                    static_cast<double>(config_.period));
+}
+
+membership::GossipMsg GossipDaemon::build_view() {
+  GossipMsg view;
+  view.sender = self_;
+  for (const auto& [node, entry] : table_.entries()) {
+    GossipRecord record;
+    record.entry = entry.data;
+    record.heartbeat_counter = node == self_ ? own_counter_ : peers_[node].counter;
+    view.records.push_back(std::move(record));
+  }
+  return view;
+}
+
+membership::NodeId GossipDaemon::next_target() {
+  // Walk the shuffled cycle, skipping peers that have since been removed;
+  // re-shuffle over the current view when the cycle is exhausted.
+  for (int refill = 0; refill < 2; ++refill) {
+    while (target_cursor_ < target_cycle_.size()) {
+      membership::NodeId candidate = target_cycle_[target_cursor_++];
+      if (candidate != self_ && table_.contains(candidate)) return candidate;
+    }
+    target_cycle_.clear();
+    for (const auto& [node, entry] : table_.entries()) {
+      if (node != self_) target_cycle_.push_back(node);
+    }
+    sim_.rng().shuffle(target_cycle_);
+    target_cursor_ = 0;
+    if (target_cycle_.empty()) break;
+  }
+  return membership::kInvalidNode;
+}
+
+void GossipDaemon::round() {
+  ++own_counter_;
+  net::Payload payload;
+  for (int i = 0; i < config_.fanout; ++i) {
+    membership::NodeId target = next_target();
+    if (target == membership::kInvalidNode) return;
+    if (!payload) payload = encode_message(build_view());
+    net_.send_unicast(self_, net::Address{target, config_.port}, payload);
+    ++gossips_sent_;
+  }
+}
+
+void GossipDaemon::scan() {
+  const sim::Time now = sim_.now();
+  const sim::Duration tfail = effective_tfail();
+
+  std::vector<membership::NodeId> failed;
+  for (const auto& [node, peer] : peers_) {
+    if (table_.contains(node) && now - peer.last_increase > tfail) {
+      failed.push_back(node);
+    }
+  }
+  for (auto node : failed) {
+    const auto* entry = table_.find(node);
+    uint64_t counter = peers_[node].counter;
+    table_.remove(node, entry ? entry->data.incarnation : 0, now);
+    dead_[node] = DeadState{counter, now + 2 * tfail};
+    peers_.erase(node);
+    TAMP_LOG(Info) << "gossip node " << self_ << " declares " << node
+                   << " failed";
+    notify(node, false);
+  }
+
+  // Garbage-collect quarantine records.
+  for (auto it = dead_.begin(); it != dead_.end();) {
+    if (now >= it->second.until) {
+      it = dead_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GossipDaemon::on_packet(const net::Packet& packet) {
+  auto message = decode_message(packet);
+  if (!message) return;
+  auto* gossip = std::get_if<GossipMsg>(&*message);
+  if (gossip == nullptr) return;
+
+  const sim::Time now = sim_.now();
+  for (const auto& record : gossip->records) {
+    const auto node = record.entry.node;
+    if (node == self_) continue;
+
+    auto dead = dead_.find(node);
+    if (dead != dead_.end()) {
+      if (record.heartbeat_counter <= dead->second.counter) continue;
+      dead_.erase(dead);  // genuinely came back: newer counter than at death
+    }
+
+    auto peer = peers_.find(node);
+    if (peer == peers_.end()) {
+      ApplyResult result = table_.apply(record.entry, Liveness::kDirect,
+                                        membership::kInvalidNode, now);
+      if (result != ApplyResult::kStale) {
+        peers_[node] = PeerState{record.heartbeat_counter, now};
+        notify(node, true);
+      }
+      continue;
+    }
+    if (record.heartbeat_counter > peer->second.counter) {
+      peer->second.counter = record.heartbeat_counter;
+      peer->second.last_increase = now;
+      table_.apply(record.entry, Liveness::kDirect, membership::kInvalidNode,
+                   now);
+    }
+  }
+}
+
+}  // namespace tamp::protocols

@@ -1,0 +1,1005 @@
+#include "protocols/hier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace tamp::protocols {
+
+using membership::ApplyResult;
+using membership::decode_message;
+using membership::encode_message;
+using membership::BootstrapRequestMsg;
+using membership::BootstrapResponseMsg;
+using membership::CoordinatorMsg;
+using membership::ElectionAnswerMsg;
+using membership::ElectionMsg;
+using membership::EntryData;
+using membership::HeartbeatMsg;
+using membership::Incarnation;
+using membership::Liveness;
+using membership::NodeId;
+using membership::SyncRequestMsg;
+using membership::SyncResponseMsg;
+using membership::UpdateKind;
+using membership::UpdateMsg;
+using membership::UpdateRecord;
+
+HierDaemon::HierDaemon(sim::Simulation& sim, net::Network& net, NodeId self,
+                       EntryData own, HierConfig config)
+    : MembershipDaemon(sim, net, self, std::move(own)),
+      config_(config),
+      heartbeat_timer_(sim, config.period, [this] { heartbeat_tick(); }),
+      scan_timer_(sim, config.scan_interval, [this] { scan_tick(); }),
+      refresh_timer_(sim,
+                     config.refresh_interval > 0 ? config.refresh_interval
+                                                 : sim::kSecond,
+                     [this] { refresh_tick(); }) {
+  TAMP_CHECK(config_.max_ttl >= 1 && config_.max_ttl <= 250);
+  table_ = membership::MembershipTable(config_.tombstone_ttl);
+  levels_.reserve(static_cast<size_t>(config_.max_ttl));
+  for (int level = 0; level < config_.max_ttl; ++level) {
+    auto state = std::make_unique<LevelState>();
+    state->level = level;
+    state->listen_timer = std::make_unique<sim::OneShotTimer>(sim, [this, level] {
+      if (level_state(level).leader == membership::kInvalidNode) {
+        maybe_start_election(level);
+      }
+    });
+    state->election_timer = std::make_unique<sim::OneShotTimer>(
+        sim, [this, level] { election_deadline(level); });
+    state->coordinator_timer =
+        std::make_unique<sim::OneShotTimer>(sim, [this, level] {
+          LevelState& ls = level_state(level);
+          ls.electing = false;
+          if (ls.leader == membership::kInvalidNode) maybe_start_election(level);
+        });
+    state->backup_grace_timer =
+        std::make_unique<sim::OneShotTimer>(sim, [this, level] {
+          if (level_state(level).leader == membership::kInvalidNode) {
+            maybe_start_election(level);
+          }
+        });
+    levels_.push_back(std::move(state));
+  }
+}
+
+HierDaemon::~HierDaemon() { stop(); }
+
+sim::Duration HierDaemon::level_timeout(int level) const {
+  double factor = std::pow(config_.level_timeout_factor, level);
+  return static_cast<sim::Duration>(
+      static_cast<double>(config_.max_losses) *
+      static_cast<double>(config_.period) * factor);
+}
+
+int HierDaemon::level_of_channel(net::ChannelId channel) const {
+  // Admin-specified channels take precedence over the derived mapping.
+  for (size_t l = 0; l < config_.level_channels.size() &&
+                     l < static_cast<size_t>(config_.max_ttl);
+       ++l) {
+    if (config_.level_channels[l] != 0 &&
+        config_.level_channels[l] == channel) {
+      return static_cast<int>(l);
+    }
+  }
+  if (channel < config_.base_channel) return -1;
+  auto level = static_cast<int64_t>(channel - config_.base_channel);
+  if (level >= config_.max_ttl) return -1;
+  if (static_cast<size_t>(level) < config_.level_channels.size() &&
+      config_.level_channels[static_cast<size_t>(level)] != 0) {
+    return -1;  // this level was remapped away from the derived channel
+  }
+  return static_cast<int>(level);
+}
+
+// --- lifecycle ------------------------------------------------------------
+
+void HierDaemon::start() {
+  if (running()) return;
+  base_start();
+  net_.bind(self_, config_.data_port,
+            [this](const net::Packet& p) { on_data_packet(p); });
+  net_.bind(self_, config_.control_port,
+            [this](const net::Packet& p) { on_control_packet(p); });
+  heartbeat_timer_.start_with_random_phase();
+  scan_timer_.start_with_random_phase();
+  if (config_.refresh_interval > 0) refresh_timer_.start_with_random_phase();
+  join_level(0);
+}
+
+void HierDaemon::stop() {
+  if (!running()) return;
+  heartbeat_timer_.stop();
+  scan_timer_.stop();
+  refresh_timer_.stop();
+  leave_levels_from(0);
+  net_.unbind(self_, config_.data_port);
+  net_.unbind(self_, config_.control_port);
+  base_stop();
+}
+
+void HierDaemon::join_level(int level) {
+  if (level >= config_.max_ttl) return;
+  LevelState& ls = level_state(level);
+  if (ls.joined) return;
+  ls.joined = true;
+  net_.join_group(self_, channel_of(level));
+  send_heartbeat(level);
+  // Paper bootstrap: listen for a leader flag first; elect only if the
+  // channel turns out to be leaderless.
+  ls.listen_timer->restart(config_.join_listen);
+}
+
+void HierDaemon::leave_levels_from(int level, bool announce) {
+  for (int l = config_.max_ttl - 1; l >= level; --l) {
+    LevelState& ls = level_state(l);
+    if (!ls.joined) continue;
+    if (announce) {
+      // Graceful goodbye: we are alive, just leaving this channel — peers
+      // must not mistake our silence here for a node failure.
+      HeartbeatMsg goodbye;
+      goodbye.entry = own_;
+      goodbye.level = static_cast<uint8_t>(l);
+      goodbye.is_leader = false;
+      goodbye.leaving = true;
+      goodbye.seq = ++hb_seq_;
+      net_.send_multicast(self_, channel_of(l), ttl_of(l), config_.data_port,
+                          encode_message(goodbye, config_.heartbeat_pad));
+    }
+    net_.leave_group(self_, channel_of(l));
+    ls.joined = false;
+    ls.bootstrapped = false;
+    ls.members.clear();
+    ls.leader = membership::kInvalidNode;
+    ls.leader_backup = membership::kInvalidNode;
+    ls.i_am_leader = false;
+    ls.my_backup = membership::kInvalidNode;
+    ls.electing = false;
+    ls.answered = false;
+    ls.in_seq.clear();
+    ls.out_log.clear();
+    // out_seq intentionally NOT reset: receivers' per-origin cursors must
+    // never observe a sequence regression.
+    ls.listen_timer->cancel();
+    ls.election_timer->cancel();
+    ls.coordinator_timer->cancel();
+    ls.backup_grace_timer->cancel();
+  }
+}
+
+// --- introspection -----------------------------------------------------------
+
+bool HierDaemon::joined(int level) const {
+  return level >= 0 && level < config_.max_ttl && levels_[level]->joined;
+}
+
+bool HierDaemon::is_leader(int level) const {
+  return joined(level) && levels_[level]->i_am_leader;
+}
+
+NodeId HierDaemon::leader_of(int level) const {
+  if (!joined(level)) return membership::kInvalidNode;
+  return levels_[level]->leader;
+}
+
+NodeId HierDaemon::backup_of(int level) const {
+  if (!joined(level)) return membership::kInvalidNode;
+  const LevelState& ls = *levels_[level];
+  return ls.i_am_leader ? ls.my_backup : ls.leader_backup;
+}
+
+std::vector<int> HierDaemon::joined_levels() const {
+  std::vector<int> out;
+  for (int l = 0; l < config_.max_ttl; ++l) {
+    if (levels_[l]->joined) out.push_back(l);
+  }
+  return out;
+}
+
+std::vector<NodeId> HierDaemon::group_members(int level) const {
+  std::vector<NodeId> out;
+  if (!joined(level)) return out;
+  for (const auto& [node, info] : levels_[level]->members) out.push_back(node);
+  return out;
+}
+
+// --- periodic work ------------------------------------------------------------
+
+void HierDaemon::heartbeat_tick() {
+  ++hb_seq_;
+  for (int l = 0; l < config_.max_ttl; ++l) {
+    if (levels_[l]->joined) send_heartbeat(l);
+  }
+  // The table-wide soft-state GC below is O(view size); its timeouts are
+  // tens of seconds, so scanning every few periods loses nothing and keeps
+  // thousand-node simulations fast.
+  if (hb_seq_ % 5 != 0) return;
+  // Direct entries we no longer actually hear (e.g. a lost goodbye from a
+  // node that left a shared channel) decay to relayed status, entering the
+  // normal second-hand lifecycle below.
+  const sim::Time now = sim_.now();
+  std::vector<NodeId> demote;
+  for (const auto& [id, entry] : table_.entries()) {
+    if (entry.liveness == Liveness::kDirect && id != self_ &&
+        !heard_directly(id)) {
+      demote.push_back(id);
+    }
+  }
+  for (NodeId id : demote) {
+    table_.demote_to_relayed(id, membership::kInvalidNode);
+  }
+  // Relayed entries are soft state refreshed by the relay chain's periodic
+  // anti-entropy (refresh_tick): an entry nobody re-announces within the
+  // refresh horizon is stale — drop it. This is what eventually clears
+  // entries resurrected by packet reordering or late replays under loss.
+  sim::Duration orphan_timeout = 2 * level_timeout(config_.max_ttl - 1);
+  if (config_.refresh_interval > 0) {
+    orphan_timeout = std::max(
+        orphan_timeout,
+        2 * config_.refresh_interval + level_timeout(config_.max_ttl - 1));
+  }
+  auto expired = table_.expire(now, [&](const membership::MembershipEntry& e) {
+    if (e.data.node == self_ || e.liveness != Liveness::kRelayed) {
+      return sim::Duration{-1};
+    }
+    return orphan_timeout;
+  });
+  for (NodeId node : expired) notify(node, false);
+}
+
+void HierDaemon::send_heartbeat(int level) {
+  LevelState& ls = level_state(level);
+  HeartbeatMsg heartbeat;
+  heartbeat.entry = own_;
+  heartbeat.level = static_cast<uint8_t>(level);
+  heartbeat.is_leader = ls.i_am_leader;
+  heartbeat.backup = ls.my_backup;
+  heartbeat.seq = ls.out_seq;
+  net_.send_multicast(self_, channel_of(level), ttl_of(level),
+                      config_.data_port,
+                      encode_message(heartbeat, config_.heartbeat_pad));
+  ++stats_.heartbeats_sent;
+}
+
+void HierDaemon::scan_tick() {
+  for (int l = 0; l < config_.max_ttl; ++l) {
+    if (levels_[l]->joined) scan_level(l);
+  }
+}
+
+void HierDaemon::scan_level(int level) {
+  LevelState& ls = level_state(level);
+  const sim::Time now = sim_.now();
+  const sim::Duration timeout = level_timeout(level);
+  std::vector<NodeId> dead;
+  for (const auto& [node, info] : ls.members) {
+    if (now - info.last_heard > timeout) dead.push_back(node);
+  }
+  for (NodeId node : dead) on_member_dead(level, node);
+}
+
+bool HierDaemon::heard_directly(NodeId node) const {
+  for (int l = 0; l < config_.max_ttl; ++l) {
+    if (levels_[l]->joined && levels_[l]->members.contains(node)) return true;
+  }
+  return false;
+}
+
+void HierDaemon::on_member_dead(int level, NodeId member) {
+  LevelState& ls = level_state(level);
+  auto it = ls.members.find(member);
+  if (it == ls.members.end()) return;
+  const bool was_leader = it->second.is_leader || ls.leader == member;
+  ls.members.erase(it);
+
+  TAMP_LOG(Info) << "hier node " << self_ << " detects member " << member
+                 << " dead at level " << level;
+
+  if (ls.i_am_leader && ls.my_backup == member) {
+    ls.my_backup = pick_backup(level);
+  }
+
+  if (!heard_directly(member)) {
+    const auto* entry = table_.find(member);
+    Incarnation incarnation = entry ? entry->data.incarnation : 0;
+    if (table_.remove(member, incarnation, sim_.now())) {
+      notify(member, false);
+      relay_record(make_leave_record(member, incarnation), level);
+    }
+    // Paper Timeout protocol: a dead node detected at level > 0 takes the
+    // membership information it relayed with it (partition detection). A
+    // dead *level-0* leader does not: the backup/new leader re-seeds the
+    // group within the (larger) higher-level timeouts, so instant purging
+    // would only cause view flapping; orphan expiry is the backstop.
+    if (level > 0) purge_dependents(member, level);
+  }
+
+  if (was_leader) handle_leader_loss(level, member);
+}
+
+void HierDaemon::purge_dependents(NodeId dead, int arrival_level) {
+  // Worklist: purging one relay may orphan entries relayed by the purged
+  // node in turn (multi-hop chains).
+  std::vector<NodeId> worklist{dead};
+  while (!worklist.empty()) {
+    NodeId relay = worklist.back();
+    worklist.pop_back();
+    std::vector<std::pair<NodeId, Incarnation>> victims;
+    // Entries announced by the dead relay went quiet when it did, so by the
+    // time its death is detected (one level_timeout at this level) they are
+    // at least that stale. Anything fresher is being re-announced by a
+    // *live* relay (e.g. a new leader's refresh) and must survive the purge.
+    const sim::Duration fresh_horizon = level_timeout(arrival_level);
+    for (const auto& [id, entry] : table_.entries()) {
+      if (entry.liveness != Liveness::kRelayed || entry.relayed_by != relay ||
+          id == self_ || heard_directly(id)) {
+        continue;
+      }
+      // Skip entries someone is actively re-announcing (a new leader's
+      // refresh beat our purge): they have a live chain and will either be
+      // re-tagged to it or expire as orphans.
+      if (sim_.now() - entry.last_heard <= fresh_horizon) continue;
+      victims.emplace_back(id, entry.data.incarnation);
+    }
+    for (const auto& [id, incarnation] : victims) {
+      if (table_.remove(id, incarnation, sim_.now())) {
+        ++stats_.relayed_purges;
+        notify(id, false);
+        relay_record(make_leave_record(id, incarnation), arrival_level);
+        worklist.push_back(id);
+      }
+    }
+  }
+}
+
+// --- packet handling -----------------------------------------------------------
+
+void HierDaemon::on_data_packet(const net::Packet& packet) {
+  int level = level_of_channel(packet.channel);
+  if (level < 0 || !levels_[level]->joined) return;
+  auto message = decode_message(packet);
+  if (!message) return;
+  std::visit(
+      [&](auto&& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, HeartbeatMsg>) {
+          on_heartbeat(level, msg);
+        } else if constexpr (std::is_same_v<T, UpdateMsg>) {
+          on_update(level, msg);
+        } else if constexpr (std::is_same_v<T, ElectionMsg>) {
+          on_election(level, msg);
+        } else if constexpr (std::is_same_v<T, CoordinatorMsg>) {
+          on_coordinator(level, msg);
+        }
+      },
+      *message);
+}
+
+void HierDaemon::on_control_packet(const net::Packet& packet) {
+  auto message = decode_message(packet);
+  if (!message) return;
+  std::visit(
+      [&](auto&& msg) {
+        using T = std::decay_t<decltype(msg)>;
+        if constexpr (std::is_same_v<T, BootstrapRequestMsg>) {
+          // Symmetric exchange: absorb what the newcomer knows (it may be a
+          // lower-level leader bringing a subtree), then send our view.
+          absorb_entries(msg.known, msg.requester, 0);
+          ++stats_.bootstraps_served;
+          BootstrapResponseMsg response;
+          response.responder = self_;
+          response.entries = full_view();
+          net_.send_unicast(self_,
+                            net::Address{msg.requester, config_.control_port},
+                            encode_message(response));
+        } else if constexpr (std::is_same_v<T, BootstrapResponseMsg>) {
+          int arrival = 0;
+          for (int l = 0; l < config_.max_ttl; ++l) {
+            if (levels_[l]->joined && levels_[l]->leader == msg.responder) {
+              arrival = l;
+              break;
+            }
+          }
+          absorb_entries(msg.entries, msg.responder, arrival);
+        } else if constexpr (std::is_same_v<T, SyncRequestMsg>) {
+          ++stats_.syncs_served;
+          SyncResponseMsg response;
+          response.responder = self_;
+          response.responder_incarnation = own_.incarnation;
+          response.level = msg.level;
+          if (msg.level < config_.max_ttl && levels_[msg.level]->joined) {
+            response.stream_seq = levels_[msg.level]->out_seq;
+          }
+          response.entries = full_view();
+          net_.send_unicast(self_,
+                            net::Address{msg.requester, config_.control_port},
+                            encode_message(response));
+        } else if constexpr (std::is_same_v<T, SyncResponseMsg>) {
+          int level = msg.level;
+          if (level < config_.max_ttl && levels_[level]->joined) {
+            // The image covers everything up to the responder's current
+            // stream position: re-anchor our cursor there.
+            auto& in_seq = levels_[level]->in_seq;
+            auto cursor = in_seq.find(msg.responder);
+            if (cursor == in_seq.end() ||
+                cursor->second.incarnation < msg.responder_incarnation ||
+                (cursor->second.incarnation == msg.responder_incarnation &&
+                 cursor->second.seq < msg.stream_seq)) {
+              in_seq[msg.responder] = LevelState::InCursor{
+                  msg.responder_incarnation, msg.stream_seq};
+            }
+            reconcile_with_image(msg.responder, msg.entries, level);
+            absorb_entries(msg.entries, msg.responder, level);
+          } else {
+            reconcile_with_image(msg.responder, msg.entries, 0);
+            absorb_entries(msg.entries, msg.responder, 0);
+          }
+        } else if constexpr (std::is_same_v<T, ElectionAnswerMsg>) {
+          int level = msg.level;
+          if (level >= 0 && level < config_.max_ttl &&
+              levels_[level]->joined && levels_[level]->electing) {
+            levels_[level]->answered = true;
+          }
+        }
+      },
+      *message);
+}
+
+void HierDaemon::on_heartbeat(int level, const HeartbeatMsg& msg) {
+  LevelState& ls = level_state(level);
+  const NodeId sender = msg.entry.node;
+  if (sender == self_) return;
+  const sim::Time now = sim_.now();
+
+  if (msg.leaving) {
+    // Voluntary channel departure: the node is alive, just out of earshot
+    // here. Drop the membership bookkeeping without any death semantics.
+    ls.members.erase(sender);
+    if (ls.leader == sender) {
+      ls.leader = membership::kInvalidNode;
+      ls.backup_grace_timer->restart(config_.backup_grace);
+    }
+    // Keep the entry's contents fresh, but record that our knowledge of it
+    // is about to become second-hand.
+    table_.apply(msg.entry, Liveness::kDirect, membership::kInvalidNode, now);
+    if (!heard_directly(sender)) {
+      table_.demote_to_relayed(sender, membership::kInvalidNode);
+    }
+    return;
+  }
+
+  const bool added_member = !ls.members.contains(sender);
+  ls.members[sender] = MemberInfo{now, msg.is_leader, msg.backup};
+
+  ApplyResult result = table_.apply(msg.entry, Liveness::kDirect,
+                                    membership::kInvalidNode, now);
+  if (result == ApplyResult::kAdded) notify(sender, true);
+
+  // The heartbeat advertises the sender's update-stream position: a cursor
+  // behind it means we lost update packets with nothing since to expose the
+  // gap — poll for a fresh image (paper Message Loss Detection).
+  auto cursor = ls.in_seq.find(sender);
+  if (cursor == ls.in_seq.end() ||
+      cursor->second.incarnation < msg.entry.incarnation) {
+    // First contact (or a restarted sender with a fresh stream): anchor;
+    // the bootstrap exchange supplies the content.
+    ls.in_seq[sender] =
+        LevelState::InCursor{msg.entry.incarnation, msg.seq};
+  } else if (cursor->second.incarnation == msg.entry.incarnation &&
+             msg.seq > cursor->second.seq) {
+    // Cursor only advances when the recovery actually lands (update or
+    // sync response): a lost poll is retried on the next heartbeat.
+    request_sync(level, sender, cursor->second.seq);
+  }
+
+  if (msg.is_leader) {
+    const bool leader_changed = ls.leader != sender;
+    if (leader_changed) {
+      ls.leader = sender;
+      ls.backup_grace_timer->cancel();
+      if (ls.electing) {
+        ls.electing = false;
+        ls.answered = false;
+        ls.election_timer->cancel();
+        ls.coordinator_timer->cancel();
+      }
+    }
+    ls.leader_backup = msg.backup;
+    if (ls.i_am_leader) {
+      // Two leaders on one channel: lowest id keeps the role (paper's
+      // election invariant — a leader never tolerates seeing another).
+      if (sender < self_) {
+        ls.leader = sender;
+        abdicate(level);
+        // Merged groups (e.g. a healed partition): exchange views with the
+        // surviving leader so both sides' subtrees propagate.
+        request_bootstrap(level, sender);
+      } else {
+        CoordinatorMsg assert_msg;
+        assert_msg.leader = self_;
+        assert_msg.level = static_cast<uint8_t>(level);
+        assert_msg.backup = ls.my_backup;
+        net_.send_multicast(self_, channel_of(level), ttl_of(level),
+                            config_.data_port, encode_message(assert_msg));
+        ls.leader = self_;
+      }
+    } else if (!ls.bootstrapped || leader_changed) {
+      // First contact with a leader, or a leadership handoff: (re)pull the
+      // full image from whoever now leads this channel.
+      request_bootstrap(level, sender);
+    }
+  } else if (ls.leader == sender) {
+    ls.leader = membership::kInvalidNode;  // it stepped down
+  }
+
+  // A fresh face (or fresh contents) in a group we participate in gets
+  // propagated to the groups we lead; the relay rules no-op for followers.
+  if (added_member || result == ApplyResult::kAdded ||
+      result == ApplyResult::kUpdated) {
+    relay_record(make_join_record(msg.entry), level);
+  }
+}
+
+void HierDaemon::on_update(int level, const UpdateMsg& msg) {
+  LevelState& ls = level_state(level);
+  if (msg.origin == self_) return;
+  auto member = ls.members.find(msg.origin);
+  if (member != ls.members.end()) member->second.last_heard = sim_.now();
+  if (msg.records.empty()) return;
+
+  std::vector<const UpdateRecord*> ordered;
+  ordered.reserve(msg.records.size());
+  for (const auto& record : msg.records) ordered.push_back(&record);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const UpdateRecord* a, const UpdateRecord* b) {
+              return a->seq < b->seq;
+            });
+
+  const uint64_t newest = ordered.back()->seq;
+  const uint64_t oldest = ordered.front()->seq;
+  auto cursor = ls.in_seq.find(msg.origin);
+
+  if (cursor == ls.in_seq.end() ||
+      cursor->second.incarnation < msg.origin_incarnation) {
+    // First contact with this origin's stream on this channel (or the
+    // origin restarted and its sequence numbers start over): accept
+    // everything and anchor the cursor — there is no history to have lost.
+    for (const auto* record : ordered) process_record(*record, msg.origin, level);
+    ls.in_seq[msg.origin] =
+        LevelState::InCursor{msg.origin_incarnation, newest};
+    return;
+  }
+  if (cursor->second.incarnation > msg.origin_incarnation) {
+    return;  // stale message from a previous life of the origin
+  }
+
+  const uint64_t known = cursor->second.seq;
+  if (newest <= known) return;  // stale duplicate
+  if (oldest > known + 1) {
+    // Unrecoverable gap even with the piggybacked history: poll the origin
+    // for a full image (paper Message Loss Detection). The cursor stays put
+    // so the gap keeps being visible until the poll succeeds; the present
+    // records are still applied (idempotent).
+    request_sync(level, msg.origin, known);
+    for (const auto* record : ordered) {
+      if (record->seq > known) process_record(*record, msg.origin, level);
+    }
+    return;
+  }
+  if (known + 1 < newest) {
+    ++stats_.gaps_recovered_by_piggyback;
+  }
+  for (const auto* record : ordered) {
+    if (record->seq > known) process_record(*record, msg.origin, level);
+  }
+  cursor->second.seq = newest;
+}
+
+void HierDaemon::on_election(int level, const ElectionMsg& msg) {
+  LevelState& ls = level_state(level);
+  if (msg.candidate == self_) return;
+  if (ls.i_am_leader) {
+    CoordinatorMsg assert_msg;
+    assert_msg.leader = self_;
+    assert_msg.level = static_cast<uint8_t>(level);
+    assert_msg.backup = ls.my_backup;
+    net_.send_multicast(self_, channel_of(level), ttl_of(level),
+                        config_.data_port, encode_message(assert_msg));
+    return;
+  }
+  if (self_ < msg.candidate && can_participate(level)) {
+    ElectionAnswerMsg answer;
+    answer.responder = self_;
+    answer.level = static_cast<uint8_t>(level);
+    net_.send_unicast(self_, net::Address{msg.candidate, config_.control_port},
+                      encode_message(answer));
+    maybe_start_election(level);
+  }
+}
+
+void HierDaemon::on_coordinator(int level, const CoordinatorMsg& msg) {
+  LevelState& ls = level_state(level);
+  if (msg.leader == self_) return;
+  if (ls.i_am_leader) {
+    if (msg.leader < self_) {
+      ls.leader = msg.leader;
+      ls.leader_backup = msg.backup;
+      abdicate(level);
+    }
+    // Otherwise keep the role; the higher-id claimant will yield when it
+    // hears our leader-flagged heartbeat.
+    return;
+  }
+  ls.leader = msg.leader;
+  ls.leader_backup = msg.backup;
+  ls.electing = false;
+  ls.answered = false;
+  ls.election_timer->cancel();
+  ls.coordinator_timer->cancel();
+  ls.backup_grace_timer->cancel();
+  ls.members[msg.leader] = MemberInfo{sim_.now(), true, msg.backup};
+  if (!ls.bootstrapped) request_bootstrap(level, msg.leader);
+}
+
+// --- leadership -------------------------------------------------------------
+
+bool HierDaemon::can_participate(int level) const {
+  const LevelState& ls = *levels_[level];
+  if (!ls.joined) return false;
+  // Paper overlap rule: stay out of elections on a channel where we already
+  // hear a leader (even one of a different, overlapping group).
+  for (const auto& [node, info] : ls.members) {
+    if (info.is_leader) return false;
+  }
+  return true;
+}
+
+void HierDaemon::maybe_start_election(int level) {
+  LevelState& ls = level_state(level);
+  if (!ls.joined || ls.electing || ls.i_am_leader || !can_participate(level)) {
+    return;
+  }
+  ++stats_.elections_started;
+  ls.electing = true;
+  ls.answered = false;
+  ElectionMsg msg;
+  msg.candidate = self_;
+  msg.level = static_cast<uint8_t>(level);
+  net_.send_multicast(self_, channel_of(level), ttl_of(level),
+                      config_.data_port, encode_message(msg));
+  ls.election_timer->restart(config_.election_timeout);
+}
+
+void HierDaemon::election_deadline(int level) {
+  LevelState& ls = level_state(level);
+  if (!ls.electing) return;
+  if (!ls.answered) {
+    become_leader(level);
+  } else {
+    // A lower-id node objected; give it time to announce itself.
+    ls.coordinator_timer->restart(config_.coordinator_timeout);
+  }
+}
+
+NodeId HierDaemon::pick_backup(int level) {
+  LevelState& ls = level_state(level);
+  std::vector<NodeId> candidates;
+  for (const auto& [node, info] : ls.members) candidates.push_back(node);
+  if (candidates.empty()) return membership::kInvalidNode;
+  return sim_.rng().pick(candidates);
+}
+
+void HierDaemon::become_leader(int level) {
+  LevelState& ls = level_state(level);
+  ls.electing = false;
+  ls.answered = false;
+  ls.election_timer->cancel();
+  ls.coordinator_timer->cancel();
+  ls.backup_grace_timer->cancel();
+  if (ls.i_am_leader) return;
+  ls.i_am_leader = true;
+  ls.leader = self_;
+  ls.my_backup = pick_backup(level);
+
+  TAMP_LOG(Info) << "hier node " << self_ << " becomes leader of level "
+                 << level;
+
+  CoordinatorMsg msg;
+  msg.leader = self_;
+  msg.level = static_cast<uint8_t>(level);
+  msg.backup = ls.my_backup;
+  net_.send_multicast(self_, channel_of(level), ttl_of(level),
+                      config_.data_port, encode_message(msg));
+  ++stats_.coordinators_sent;
+
+  send_heartbeat(level);
+  // Re-seed the group with everything we know: after a leader death the
+  // members purged the old relay's entries and need a fresh image.
+  send_state_refresh(level);
+  join_level(level + 1);
+  // Announce our subtree upward before the higher group's (longer) timeout
+  // purges everything the dead leader used to relay.
+  if (joined(level + 1)) send_state_refresh(level + 1, /*subtree_only=*/true);
+}
+
+void HierDaemon::abdicate(int level) {
+  LevelState& ls = level_state(level);
+  if (!ls.i_am_leader) return;
+  TAMP_LOG(Info) << "hier node " << self_ << " abdicates level " << level;
+  ls.i_am_leader = false;
+  ls.my_backup = membership::kInvalidNode;
+  // Membership of level L+1 was contingent on leading level L. This is a
+  // voluntary departure, so it is announced (we are not dead).
+  leave_levels_from(level + 1, /*announce=*/true);
+}
+
+void HierDaemon::handle_leader_loss(int level, NodeId old_leader) {
+  LevelState& ls = level_state(level);
+  // Leadership may already have been resolved (a backup's COORDINATOR beat
+  // our own detection scan): do not contest it.
+  if (ls.leader != membership::kInvalidNode && ls.leader != old_leader) {
+    return;
+  }
+  if (ls.leader == old_leader) ls.leader = membership::kInvalidNode;
+  const NodeId backup = ls.leader_backup;
+  ls.leader_backup = membership::kInvalidNode;
+  if (backup == self_ && ls.joined && !ls.i_am_leader) {
+    become_leader(level);  // designated backup takes over immediately
+    return;
+  }
+  if (backup != membership::kInvalidNode && ls.members.contains(backup)) {
+    ls.backup_grace_timer->restart(config_.backup_grace);
+  } else {
+    maybe_start_election(level);
+  }
+}
+
+// --- update propagation ------------------------------------------------------
+
+UpdateRecord HierDaemon::make_join_record(const EntryData& entry) {
+  UpdateRecord record;
+  record.kind = UpdateKind::kJoin;
+  record.subject = entry.node;
+  record.incarnation = entry.incarnation;
+  record.entry = entry;
+  return record;
+}
+
+UpdateRecord HierDaemon::make_leave_record(NodeId subject, Incarnation inc) {
+  UpdateRecord record;
+  record.kind = UpdateKind::kLeave;
+  record.subject = subject;
+  record.incarnation = inc;
+  return record;
+}
+
+bool HierDaemon::process_record(const UpdateRecord& record, NodeId relayed_by,
+                                int arrival_level) {
+  ++stats_.update_records_applied;
+  if (record.subject == self_) return false;
+  const sim::Time now = sim_.now();
+
+  if (record.kind == UpdateKind::kJoin) {
+    if (!record.entry) return false;
+    ApplyResult result = table_.apply(*record.entry, Liveness::kRelayed,
+                                      provenance_tag(record.subject, relayed_by),
+                                      now);
+    const bool fresh =
+        result == ApplyResult::kAdded || result == ApplyResult::kUpdated;
+    if (result == ApplyResult::kAdded) notify(record.subject, true);
+    if (fresh) relay_record(record, arrival_level);
+    return fresh;
+  }
+
+  // kLeave. Our own ears beat second-hand news: if we currently hear the
+  // subject's heartbeats, the leave is stale (or an overlap artifact).
+  if (heard_directly(record.subject)) return false;
+  if (!table_.remove(record.subject, record.incarnation, now)) return false;
+  notify(record.subject, false);
+  relay_record(record, arrival_level);
+  purge_dependents(record.subject, arrival_level);
+  return true;
+}
+
+void HierDaemon::relay_record(const UpdateRecord& record, int arrival_level) {
+  std::vector<bool> emit(static_cast<size_t>(config_.max_ttl), false);
+  // Downward/lateral: into every group this node leads (includes the
+  // arrival channel itself when we lead it — needed for overlapping groups,
+  // where same-channel peers may be outside the original sender's TTL).
+  for (int l = 0; l < config_.max_ttl; ++l) {
+    if (levels_[l]->joined && levels_[l]->i_am_leader) emit[l] = true;
+  }
+  // Upward cascade: the leader of level L forwards into L+1; when it is the
+  // (possibly sole) member-and-leader there too, the record must keep
+  // climbing — a node cannot receive its own multicast, so the cascade is
+  // computed here rather than re-entering through the socket.
+  for (int l = arrival_level;
+       l + 1 < config_.max_ttl && levels_[l]->i_am_leader &&
+       levels_[l + 1]->joined;
+       ++l) {
+    emit[l + 1] = true;
+  }
+  for (int l = 0; l < config_.max_ttl; ++l) {
+    if (emit[l]) emit_update(l, record);
+  }
+}
+
+void HierDaemon::emit_update(int level, const UpdateRecord& record) {
+  std::vector<UpdateRecord> batch{record};
+  emit_batch(level, batch);
+}
+
+void HierDaemon::emit_batch(int level,
+                            const std::vector<UpdateRecord>& batch) {
+  LevelState& ls = level_state(level);
+  if (!ls.joined || batch.empty()) return;
+
+  UpdateMsg msg;
+  msg.origin = self_;
+  msg.origin_incarnation = own_.incarnation;
+  // Piggyback the previous records (newest first) after the new batch.
+  const size_t prior =
+      std::min<size_t>(static_cast<size_t>(config_.piggyback), ls.out_log.size());
+  for (const auto& record : batch) {
+    UpdateRecord stamped = record;
+    stamped.seq = ++ls.out_seq;
+    ls.out_log.push_front(stamped);
+  }
+  for (size_t i = 0; i < batch.size() + prior && i < ls.out_log.size(); ++i) {
+    msg.records.push_back(ls.out_log[i]);
+  }
+  while (ls.out_log.size() >
+         static_cast<size_t>(std::max(config_.piggyback + 1, 8))) {
+    ls.out_log.pop_back();
+  }
+  net_.send_multicast(self_, channel_of(level), ttl_of(level),
+                      config_.data_port, encode_message(msg));
+  ++stats_.updates_sent;
+}
+
+void HierDaemon::send_state_refresh(int level, bool subtree_only) {
+  const LevelState& ls = *levels_[level];
+  std::vector<UpdateRecord> batch;
+  for (const auto& [id, entry] : table_.entries()) {
+    if (subtree_only && id != self_) {
+      // Upward refreshes announce only the subtree this node represents:
+      // re-announcing what we learned *from* this very group would keep a
+      // departed peer's stale entries alive through mutual refresh.
+      if (ls.members.contains(id)) continue;
+      if (entry.liveness == Liveness::kRelayed &&
+          entry.relayed_by != membership::kInvalidNode &&
+          ls.members.contains(entry.relayed_by)) {
+        continue;
+      }
+    }
+    batch.push_back(make_join_record(entry.data));
+  }
+  emit_batch(level, batch);
+}
+
+// --- bootstrap / sync -------------------------------------------------------
+
+void HierDaemon::request_sync(int level, NodeId origin, uint64_t last_seq) {
+  LevelState& ls = level_state(level);
+  const sim::Time now = sim_.now();
+  auto last = ls.last_sync_request.find(origin);
+  if (last != ls.last_sync_request.end() &&
+      now - last->second < 2 * config_.period) {
+    return;  // a poll is already in flight; don't storm the origin
+  }
+  ls.last_sync_request[origin] = now;
+  ++stats_.syncs_requested;
+  SyncRequestMsg request;
+  request.requester = self_;
+  request.level = static_cast<uint8_t>(level);
+  request.last_seq_seen = last_seq;
+  net_.send_unicast(self_, net::Address{origin, config_.control_port},
+                    encode_message(request));
+}
+
+void HierDaemon::request_bootstrap(int level, NodeId leader) {
+  LevelState& ls = level_state(level);
+  ls.bootstrapped = true;
+  ++stats_.bootstraps_requested;
+  BootstrapRequestMsg request;
+  request.requester = self_;
+  request.known = full_view();
+  net_.send_unicast(self_, net::Address{leader, config_.control_port},
+                    encode_message(request));
+}
+
+std::vector<EntryData> HierDaemon::full_view() const {
+  std::vector<EntryData> entries;
+  entries.reserve(table_.size());
+  for (const auto& [id, entry] : table_.entries()) entries.push_back(entry.data);
+  return entries;
+}
+
+// relayed_by is the provenance chain the Timeout protocol purges by, so it
+// must track the canonical relay: the neighbor on the path toward the
+// subject. Any peer may mention any entry (bootstrap copies, anti-entropy
+// refreshes), so the tag is sticky — it moves to a new relayer only once
+// the current one is no longer heard (leader handover, healed partition).
+NodeId HierDaemon::provenance_tag(NodeId subject, NodeId proposed) const {
+  const auto* existing = table_.find(subject);
+  if (existing != nullptr && existing->liveness == Liveness::kRelayed &&
+      existing->relayed_by != membership::kInvalidNode &&
+      heard_directly(existing->relayed_by)) {
+    return existing->relayed_by;
+  }
+  return proposed;
+}
+
+// A solicited full image *synchronizes* the directory: adding what the
+// responder knows, and — for entries whose provenance chain runs through
+// the responder — removing what it no longer lists (a lost LEAVE shows up
+// as an absence in the relay's image).
+void HierDaemon::reconcile_with_image(NodeId responder,
+                                      const std::vector<EntryData>& entries,
+                                      int arrival_level) {
+  std::set<NodeId> present;
+  for (const auto& entry : entries) present.insert(entry.node);
+  const sim::Time now = sim_.now();
+  const sim::Duration fresh_horizon = level_timeout(arrival_level);
+  std::vector<std::pair<NodeId, Incarnation>> stale;
+  for (const auto& [id, entry] : table_.entries()) {
+    if (entry.liveness != Liveness::kRelayed ||
+        entry.relayed_by != responder || id == self_ || heard_directly(id) ||
+        present.contains(id)) {
+      continue;
+    }
+    // Only entries the responder has *stopped* announcing count as stale;
+    // a recently-applied entry may simply be younger than the image
+    // (formation-time races), so leave it to the normal lifecycle.
+    if (now - entry.last_heard <= fresh_horizon) continue;
+    stale.push_back({id, entry.data.incarnation});
+  }
+  for (const auto& [id, incarnation] : stale) {
+    if (table_.remove(id, incarnation, now)) {
+      notify(id, false);
+      relay_record(make_leave_record(id, incarnation), arrival_level);
+      purge_dependents(id, arrival_level);
+    }
+  }
+}
+
+void HierDaemon::absorb_entries(const std::vector<EntryData>& entries,
+                                NodeId relayed_by, int arrival_level) {
+  const sim::Time now = sim_.now();
+  for (const auto& entry : entries) {
+    if (entry.node == self_) continue;
+    // Tombstones are respected even in solicited exchanges: during a
+    // failover race the responder may still list a node we just declared
+    // dead, and overriding would flap the view. A healed partition's
+    // mutual tombstones simply expire, after which the periodic
+    // anti-entropy refresh re-merges the sides.
+    ApplyResult result =
+        table_.apply(entry, Liveness::kRelayed,
+                     provenance_tag(entry.node, relayed_by), now,
+                     /*override_tombstone=*/false);
+    if (result == ApplyResult::kAdded) notify(entry.node, true);
+    if (result == ApplyResult::kAdded || result == ApplyResult::kUpdated) {
+      relay_record(make_join_record(entry), arrival_level);
+    }
+  }
+}
+
+void HierDaemon::refresh_tick() {
+  for (int l = 0; l < config_.max_ttl; ++l) {
+    if (!levels_[l]->joined || !levels_[l]->i_am_leader) continue;
+    // Anti-entropy into the group this node leads, and upward into the
+    // parent group it represents that subtree in: every relayed entry in
+    // the cluster is re-announced along its chain once per interval, so
+    // freshness genuinely means "still being relayed".
+    send_state_refresh(l);
+    if (l + 1 < config_.max_ttl && levels_[l + 1]->joined) {
+      send_state_refresh(l + 1, /*subtree_only=*/true);
+    }
+  }
+}
+
+}  // namespace tamp::protocols

@@ -1,0 +1,246 @@
+// The topology-adaptive hierarchical membership protocol — the paper's
+// contribution (Section 3.1).
+//
+// Group formation. Every node joins the base multicast channel with TTL 1;
+// the hosts it hears there are its level-0 ("local") group — by TTL
+// semantics, exactly the hosts on its L2 segment. Each group elects a
+// leader (bully, lowest id wins); leaders join channel `base + 1` with TTL
+// 2, forming level-1 groups, and so on until MAX_TTL. Groups at the same
+// level share one channel: TTL scoping keeps disjoint groups from hearing
+// each other, and where the topology makes TTL non-transitive the groups
+// overlap (paper Fig. 4) — handled by the election suppression rule ("a
+// node does not participate in an election on a channel where it already
+// hears a leader") and by idempotent updates.
+//
+// Sub-protocols (Section 3.1.2), all implemented here:
+//  * Bootstrap — a joining node listens for the leader flag, then pulls the
+//    full directory from the leader; the leader symmetrically absorbs
+//    whatever the newcomer knows (it may be a lower-level leader bringing a
+//    subtree).
+//  * Update — a group's leader turns locally detected joins/leaves into
+//    update records and multicasts them to the next-higher group; every
+//    member relays fresh records into the groups *it* leads. Records are
+//    deduplicated by their effect on the local table, so overlapping groups
+//    and redundant relays converge without loops.
+//  * Timeout — soft-state expiry. Level-L members are declared dead after
+//    max_losses * period * level_timeout_factor^L without a heartbeat
+//    (higher levels get longer timeouts so a lower-level re-election wins
+//    the race). Entries relayed by a leader live exactly as long as that
+//    leader: its death purges them, and explicit LEAVE records propagate the
+//    purge downstream — this is what detects a network partition quickly.
+//  * Message-loss detection — per-(channel, origin) sequence numbers on
+//    update messages; each message piggybacks the previous `piggyback`
+//    records, so up to that many consecutive losses are absorbed; a larger
+//    gap triggers a unicast resynchronization poll.
+//
+// Leadership. Each leader designates a random backup in its heartbeats; on
+// leader death the backup takes over immediately, and a full bully election
+// runs only when both are gone. A leader of level L joins level L+1 and
+// answers bootstrap/sync polls; losing leadership cascades it back out of
+// all higher levels.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "protocols/daemon.h"
+#include "protocols/ports.h"
+#include "sim/timer.h"
+
+namespace tamp::protocols {
+
+struct HierConfig {
+  net::ChannelId base_channel = kBaseChannel;
+  // "For maximum control flexibility, our implementation also allows
+  // administrators to specify multicast channels at each level": when
+  // non-empty, entry [l] (if non-zero) overrides `base_channel + l`.
+  std::vector<net::ChannelId> level_channels;
+  net::Port data_port = kDataPort;
+  net::Port control_port = kControlPort;
+  // Highest TTL value the formation process may use (paper MAX_TTL); level L
+  // uses TTL L+1, so levels 0 .. max_ttl-1 exist.
+  int max_ttl = 4;
+  sim::Duration period = sim::kSecond;          // MCAST_FREQ
+  int max_losses = 5;                           // MAX_LOSS
+  double level_timeout_factor = 1.5;            // higher levels time out later
+  sim::Duration scan_interval = 100 * sim::kMillisecond;
+  sim::Duration join_listen = 2500 * sim::kMillisecond;
+  sim::Duration election_timeout = 300 * sim::kMillisecond;
+  sim::Duration coordinator_timeout = 800 * sim::kMillisecond;
+  sim::Duration backup_grace = 600 * sim::kMillisecond;
+  int piggyback = 3;          // previous updates carried by each update msg
+  size_t heartbeat_pad = 0;   // fixed heartbeat size (0 = natural size)
+  // Leaders periodically re-multicast their full view into the groups they
+  // lead (anti-entropy backstop; repairs anything event-driven updates
+  // missed, e.g. after a healed partition). 0 disables.
+  sim::Duration refresh_interval = 30 * sim::kSecond;
+  // How long a removed node's (node, incarnation) stays quarantined against
+  // relayed re-joins. Must exceed the piggyback replay horizon and be short
+  // enough that healed partitions re-merge promptly.
+  sim::Duration tombstone_ttl = 15 * sim::kSecond;
+};
+
+struct HierStats {
+  uint64_t heartbeats_sent = 0;
+  uint64_t updates_sent = 0;
+  uint64_t update_records_applied = 0;
+  uint64_t elections_started = 0;
+  uint64_t coordinators_sent = 0;
+  uint64_t bootstraps_requested = 0;
+  uint64_t bootstraps_served = 0;
+  uint64_t syncs_requested = 0;
+  uint64_t syncs_served = 0;
+  uint64_t gaps_recovered_by_piggyback = 0;
+  uint64_t relayed_purges = 0;  // entries dropped because their relay died
+};
+
+class HierDaemon : public MembershipDaemon {
+ public:
+  HierDaemon(sim::Simulation& sim, net::Network& net, membership::NodeId self,
+             membership::EntryData own, HierConfig config = {});
+  ~HierDaemon() override;
+
+  void start() override;
+  void stop() override;
+
+  // --- introspection (tests / benches) -------------------------------------
+  bool joined(int level) const;
+  bool is_leader(int level) const;
+  membership::NodeId leader_of(int level) const;    // kInvalidNode if unknown
+  membership::NodeId backup_of(int level) const;
+  std::vector<int> joined_levels() const;
+  // Nodes currently heard directly on the given level's channel.
+  std::vector<membership::NodeId> group_members(int level) const;
+  const HierStats& stats() const { return stats_; }
+  const HierConfig& config() const { return config_; }
+
+  // Timeout used for members heard at `level`.
+  sim::Duration level_timeout(int level) const;
+
+ private:
+  struct MemberInfo {
+    sim::Time last_heard = 0;
+    bool is_leader = false;
+    membership::NodeId backup = membership::kInvalidNode;
+  };
+
+  struct LevelState {
+    int level = 0;
+    bool joined = false;
+    bool bootstrapped = false;
+    std::map<membership::NodeId, MemberInfo> members;  // excludes self
+
+    membership::NodeId leader = membership::kInvalidNode;  // may be self
+    membership::NodeId leader_backup = membership::kInvalidNode;
+    bool i_am_leader = false;
+    membership::NodeId my_backup = membership::kInvalidNode;
+
+    bool electing = false;
+    bool answered = false;  // saw an ANSWER for our candidacy
+
+    uint64_t out_seq = 0;
+    std::deque<membership::UpdateRecord> out_log;      // newest at front
+    // Per-origin receive cursor, scoped by the origin's incarnation: a
+    // restarted origin starts a fresh stream at seq 0.
+    struct InCursor {
+      membership::Incarnation incarnation = 0;
+      uint64_t seq = 0;
+    };
+    std::unordered_map<membership::NodeId, InCursor> in_seq;
+    // Rate limit for gap-triggered sync polls, per origin.
+    std::unordered_map<membership::NodeId, sim::Time> last_sync_request;
+
+    std::unique_ptr<sim::OneShotTimer> listen_timer;
+    std::unique_ptr<sim::OneShotTimer> election_timer;
+    std::unique_ptr<sim::OneShotTimer> coordinator_timer;
+    std::unique_ptr<sim::OneShotTimer> backup_grace_timer;
+  };
+
+  // --- level / channel plumbing -----------------------------------------
+  net::ChannelId channel_of(int level) const {
+    if (static_cast<size_t>(level) < config_.level_channels.size() &&
+        config_.level_channels[static_cast<size_t>(level)] != 0) {
+      return config_.level_channels[static_cast<size_t>(level)];
+    }
+    return config_.base_channel + static_cast<net::ChannelId>(level);
+  }
+  uint8_t ttl_of(int level) const { return static_cast<uint8_t>(level + 1); }
+  int level_of_channel(net::ChannelId channel) const;
+  LevelState& level_state(int level) { return *levels_[level]; }
+
+  void join_level(int level);
+  // Leave `level` and everything above; `announce` multicasts a goodbye on
+  // each channel first (voluntary departure vs. crash).
+  void leave_levels_from(int level, bool announce = false);
+
+  // --- periodic work -----------------------------------------------------
+  void heartbeat_tick();
+  void send_heartbeat(int level);
+  void scan_tick();
+  void scan_level(int level);
+  void on_member_dead(int level, membership::NodeId member);
+  bool heard_directly(membership::NodeId node) const;
+  // Drop entries whose relay chain went through `dead` (paper Timeout
+  // protocol: relayed information lives exactly as long as its relay).
+  void purge_dependents(membership::NodeId dead, int arrival_level);
+
+  // --- packet handling ------------------------------------------------------
+  void on_data_packet(const net::Packet& packet);
+  void on_control_packet(const net::Packet& packet);
+  void on_heartbeat(int level, const membership::HeartbeatMsg& msg);
+  void on_update(int level, const membership::UpdateMsg& msg);
+  void on_election(int level, const membership::ElectionMsg& msg);
+  void on_coordinator(int level, const membership::CoordinatorMsg& msg);
+
+  // --- leadership ----------------------------------------------------------
+  bool can_participate(int level) const;
+  void maybe_start_election(int level);
+  void election_deadline(int level);
+  membership::NodeId pick_backup(int level);
+  void become_leader(int level);
+  void abdicate(int level);
+  void handle_leader_loss(int level, membership::NodeId old_leader);
+
+  // --- update propagation -----------------------------------------------
+  // Applies one record, fires notifications, cascades purges, and relays
+  // onward if it changed the local view. Returns whether it was fresh.
+  bool process_record(const membership::UpdateRecord& record,
+                      membership::NodeId relayed_by, int arrival_level);
+  // Relays a fresh record that arrived (or was detected) on `arrival_level`
+  // into every group this node leads, plus upward when it leads the arrival
+  // group itself.
+  void relay_record(const membership::UpdateRecord& record, int arrival_level);
+  void emit_update(int level, const membership::UpdateRecord& record);
+  void emit_batch(int level,
+                  const std::vector<membership::UpdateRecord>& batch);
+  void send_state_refresh(int level, bool subtree_only = false);
+  membership::UpdateRecord make_join_record(const membership::EntryData& entry);
+  membership::UpdateRecord make_leave_record(membership::NodeId subject,
+                                             membership::Incarnation inc);
+
+  // --- bootstrap / sync ----------------------------------------------------
+  void request_bootstrap(int level, membership::NodeId leader);
+  void request_sync(int level, membership::NodeId origin, uint64_t last_seq);
+  std::vector<membership::EntryData> full_view() const;
+  membership::NodeId provenance_tag(membership::NodeId subject,
+                                    membership::NodeId proposed) const;
+  void absorb_entries(const std::vector<membership::EntryData>& entries,
+                      membership::NodeId relayed_by, int arrival_level);
+  void reconcile_with_image(membership::NodeId responder,
+                            const std::vector<membership::EntryData>& entries,
+                            int arrival_level);
+  void refresh_tick();
+
+  HierConfig config_;
+  std::vector<std::unique_ptr<LevelState>> levels_;
+  sim::PeriodicTimer heartbeat_timer_;
+  sim::PeriodicTimer scan_timer_;
+  sim::PeriodicTimer refresh_timer_;
+  HierStats stats_;
+  uint64_t hb_seq_ = 0;
+};
+
+}  // namespace tamp::protocols

@@ -1,0 +1,212 @@
+#include "proxy/proxy.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tamp::proxy {
+
+using membership::decode_message;
+using membership::encode_message;
+using membership::Message;
+using membership::ProxyHeartbeatMsg;
+using membership::ProxyUpdateMsg;
+using membership::ServiceSummary;
+
+ProxyDaemon::ProxyDaemon(sim::Simulation& sim, net::Network& net,
+                         protocols::HierDaemon& membership, ProxyConfig config)
+    : sim_(sim),
+      net_(net),
+      membership_(membership),
+      config_(std::move(config)),
+      tick_timer_(sim, config_.period, [this] { tick(); }) {}
+
+ProxyDaemon::~ProxyDaemon() { stop(); }
+
+void ProxyDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  // Make this node discoverable as a proxy through the ordinary yellow
+  // pages; the partition is the datacenter id.
+  membership_.register_service(kProxyServiceName,
+                               {static_cast<int>(config_.dc)});
+  net_.join_group(self(), config_.proxy_channel);
+  net_.bind(self(), config_.wan_port,
+            [this](const net::Packet& p) { on_wan_packet(p); });
+  net_.bind(self(), config_.relay_port,
+            [this](const net::Packet& p) { on_proxy_channel_packet(p); });
+  tick_timer_.start_with_random_phase();
+}
+
+void ProxyDaemon::stop() {
+  if (!running_) return;
+  tick_timer_.stop();
+  net_.unbind(self(), config_.wan_port);
+  net_.unbind(self(), config_.relay_port);
+  net_.leave_group(self(), config_.proxy_channel);
+  if (is_leader_ &&
+      net_.virtual_ip_owner(config_.local_vip) == self()) {
+    net_.assign_virtual_ip(config_.local_vip, net::kInvalidHost);
+  }
+  is_leader_ = false;
+  running_ = false;
+}
+
+void ProxyDaemon::tick() {
+  evaluate_leadership();
+  recompute_summary(/*push_update=*/true);
+  expire_remotes();
+  if (!is_leader_) return;
+
+  ProxyHeartbeatMsg heartbeat;
+  heartbeat.dc = config_.dc;
+  heartbeat.sender = self();
+  heartbeat.seq = ++seq_;
+  heartbeat.summary = local_summary_;
+  send_wan(Message{heartbeat}, /*is_update=*/false);
+}
+
+void ProxyDaemon::evaluate_leadership() {
+  // Lowest live proxy id wins — the bully rule, evaluated against the
+  // converged membership view every proxy shares.
+  auto proxies = membership_.table().lookup(kProxyServiceName, "*");
+  membership::NodeId lowest = membership::kInvalidNode;
+  for (const auto* entry : proxies) {
+    lowest = std::min(lowest, entry->data.node);
+  }
+  const bool should_lead = lowest == self();
+  if (should_lead && !is_leader_) {
+    is_leader_ = true;
+    ++stats_.vip_takeovers;
+    net_.assign_virtual_ip(config_.local_vip, self());
+    TAMP_LOG(Info) << "proxy " << self() << " takes over VIP of dc "
+                   << config_.dc;
+  } else if (!should_lead && is_leader_) {
+    is_leader_ = false;
+    if (net_.virtual_ip_owner(config_.local_vip) == self()) {
+      net_.assign_virtual_ip(config_.local_vip, net::kInvalidHost);
+    }
+  } else if (is_leader_ &&
+             net_.virtual_ip_owner(config_.local_vip) != self()) {
+    net_.assign_virtual_ip(config_.local_vip, self());
+  }
+}
+
+ServiceSummary ProxyDaemon::build_summary() const {
+  ServiceSummary summary;
+  for (const auto& [id, entry] : membership_.table().entries()) {
+    for (const auto& service : entry.data.services) {
+      if (service.name == kProxyServiceName) continue;
+      auto& slot = summary.availability[service.name];
+      for (int partition : service.partitions) {
+        slot[partition] += 1;
+      }
+    }
+  }
+  return summary;
+}
+
+void ProxyDaemon::recompute_summary(bool push_update) {
+  ServiceSummary fresh = build_summary();
+  if (fresh == local_summary_) return;
+  local_summary_ = std::move(fresh);
+  if (!push_update || !is_leader_) return;
+  // Paper Update Message: a change in the local summary is pushed to the
+  // other datacenters immediately, without waiting for the next heartbeat.
+  ProxyUpdateMsg update;
+  update.dc = config_.dc;
+  update.sender = self();
+  update.seq = ++seq_;
+  update.summary = local_summary_;
+  send_wan(Message{update}, /*is_update=*/true);
+}
+
+void ProxyDaemon::send_wan(const Message& message, bool is_update) {
+  // Sequential unicast to each remote datacenter's well-known VIP.
+  auto payload = encode_message(message);
+  for (const auto& [dc, vip] : config_.remote_vips) {
+    if (dc == config_.dc) continue;
+    net_.send_to_virtual(self(), vip, config_.wan_port, payload);
+    if (is_update) {
+      ++stats_.wan_updates_sent;
+    } else {
+      ++stats_.wan_heartbeats_sent;
+    }
+  }
+}
+
+void ProxyDaemon::on_wan_packet(const net::Packet& packet) {
+  auto message = decode_message(packet);
+  if (!message) return;
+  ++stats_.wan_messages_received;
+  if (auto* heartbeat = std::get_if<ProxyHeartbeatMsg>(&*message)) {
+    ingest_remote(heartbeat->dc, heartbeat->seq, heartbeat->summary, true);
+  } else if (auto* update = std::get_if<ProxyUpdateMsg>(&*message)) {
+    ingest_remote(update->dc, update->seq, update->summary, true);
+  }
+}
+
+void ProxyDaemon::on_proxy_channel_packet(const net::Packet& packet) {
+  auto message = decode_message(packet);
+  if (!message) return;
+  // Remote state relayed by the local proxy leader: absorb without
+  // re-relaying (only the leader relays).
+  if (auto* heartbeat = std::get_if<ProxyHeartbeatMsg>(&*message)) {
+    ingest_remote(heartbeat->dc, heartbeat->seq, heartbeat->summary, false);
+  } else if (auto* update = std::get_if<ProxyUpdateMsg>(&*message)) {
+    ingest_remote(update->dc, update->seq, update->summary, false);
+  }
+}
+
+void ProxyDaemon::ingest_remote(net::DatacenterId dc, uint64_t seq,
+                                const ServiceSummary& summary,
+                                bool relay_locally) {
+  if (dc == config_.dc) return;
+  RemoteDirectory& dir = remote_[dc];
+  if (seq < dir.last_seq) return;  // out-of-order WAN packet
+  dir.summary = summary;
+  dir.last_seq = seq;
+  dir.last_heard = sim_.now();
+
+  if (relay_locally && is_leader_) {
+    // Fan the news out to the backup proxies so a failover starts warm.
+    ProxyHeartbeatMsg relay;
+    relay.dc = dc;
+    relay.sender = self();
+    relay.seq = seq;
+    relay.summary = summary;
+    net_.send_multicast(self(), config_.proxy_channel,
+                        config_.proxy_channel_ttl, config_.relay_port,
+                        encode_message(Message{relay}));
+    ++stats_.relays_to_local_group;
+  }
+}
+
+void ProxyDaemon::expire_remotes() {
+  const sim::Duration timeout =
+      static_cast<sim::Duration>(config_.max_losses) * config_.period * 2;
+  for (auto it = remote_.begin(); it != remote_.end();) {
+    if (sim_.now() - it->second.last_heard > timeout) {
+      TAMP_LOG(Info) << "proxy " << self() << " drops silent dc " << it->first;
+      it = remote_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<net::DatacenterId> ProxyDaemon::lookup_remote(
+    const std::string& service, int partition) const {
+  std::vector<net::DatacenterId> out;
+  for (const auto& [dc, dir] : remote_) {
+    auto svc = dir.summary.availability.find(service);
+    if (svc == dir.summary.availability.end()) continue;
+    auto part = svc->second.find(partition);
+    if (part != svc->second.end() && part->second > 0) {
+      out.push_back(dc);
+    }
+  }
+  return out;
+}
+
+}  // namespace tamp::proxy

@@ -1,0 +1,301 @@
+#include "service/consumer.h"
+
+#include <algorithm>
+
+#include "proxy/proxy.h"
+#include "util/strings.h"
+
+namespace tamp::service {
+
+ServiceConsumer::ServiceConsumer(sim::Simulation& sim, net::Network& net,
+                                 protocols::MembershipDaemon& membership,
+                                 ConsumerConfig config)
+    : sim_(sim), net_(net), membership_(membership), config_(config) {}
+
+ServiceConsumer::~ServiceConsumer() { stop(); }
+
+void ServiceConsumer::start() {
+  if (running_) return;
+  running_ = true;
+  net_.bind(self(), config_.reply_port,
+            [this](const net::Packet& p) { on_packet(p); });
+}
+
+void ServiceConsumer::stop() {
+  if (!running_) return;
+  for (auto& [id, pending] : pending_) {
+    sim_.cancel(pending.poll_timer);
+    sim_.cancel(pending.request_timer);
+  }
+  pending_.clear();
+  poll_to_request_.clear();
+  net_.unbind(self(), config_.reply_port);
+  running_ = false;
+}
+
+uint64_t ServiceConsumer::next_id() {
+  // Globally unique across consumers: high bits carry the node id, so a
+  // proxy relaying many consumers' requests never sees a collision.
+  return (static_cast<uint64_t>(self()) << 32) | ++next_id_counter_;
+}
+
+void ServiceConsumer::invoke(const std::string& service, int partition,
+                             uint32_t request_bytes, uint32_t response_bytes,
+                             Callback callback) {
+  Pending pending;
+  pending.id = next_id();
+  pending.service = service;
+  pending.partition = partition;
+  pending.request_bytes = request_bytes;
+  pending.response_bytes = response_bytes;
+  pending.callback = std::move(callback);
+  pending.started = sim_.now();
+  uint64_t id = pending.id;
+  pending_.emplace(id, std::move(pending));
+  attempt(id);
+}
+
+std::vector<net::HostId> ServiceConsumer::live_candidates(
+    const Pending& pending) const {
+  std::vector<net::HostId> candidates;
+  auto matches = membership_.table().lookup(
+      pending.service, std::to_string(pending.partition));
+  for (const auto* entry : matches) {
+    net::HostId host = entry->data.node;
+    if (host == self()) continue;  // self-dispatch is not modeled
+    if (std::find(pending.tried.begin(), pending.tried.end(), host) !=
+        pending.tried.end()) {
+      continue;
+    }
+    candidates.push_back(host);
+  }
+  return candidates;
+}
+
+void ServiceConsumer::attempt(uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+
+  if (pending.attempts >= config_.max_attempts) {
+    attempt_proxy(pending);
+    return;
+  }
+  ++pending.attempts;
+
+  auto candidates = live_candidates(pending);
+  if (candidates.empty()) {
+    attempt_proxy(pending);
+    return;
+  }
+  if (candidates.size() == 1) {
+    dispatch(pending, candidates[0]);
+    return;
+  }
+  sim_.rng().shuffle(candidates);
+  candidates.resize(std::min<size_t>(
+      candidates.size(), static_cast<size_t>(config_.poll_candidates)));
+  start_poll(pending, std::move(candidates));
+}
+
+void ServiceConsumer::start_poll(Pending& pending,
+                                 std::vector<net::HostId> candidates) {
+  pending.poll_id = next_id();
+  pending.poll_replies.clear();
+  pending.polls_outstanding = static_cast<int>(candidates.size());
+  poll_to_request_[pending.poll_id] = pending.id;
+
+  LoadPollMsg poll;
+  poll.poll_id = pending.poll_id;
+  poll.from = self();
+  poll.reply_port = config_.reply_port;
+  auto payload = encode_service_message(poll);
+  for (net::HostId host : candidates) {
+    net_.send_unicast(self(), net::Address{host, config_.provider_port},
+                      payload);
+  }
+  uint64_t id = pending.id;
+  pending.poll_timer =
+      sim_.schedule_after(config_.poll_timeout, [this, id] {
+        poll_deadline(id);
+      });
+}
+
+void ServiceConsumer::poll_deadline(uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending& pending = it->second;
+  pending.poll_timer = sim::kInvalidEventId;
+  poll_to_request_.erase(pending.poll_id);
+
+  if (pending.poll_replies.empty()) {
+    // Every probed replica is silent — likely dead. Retry with others.
+    attempt(id);
+    return;
+  }
+  auto best = std::min_element(
+      pending.poll_replies.begin(), pending.poll_replies.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  dispatch(pending, best->first);
+}
+
+void ServiceConsumer::dispatch(Pending& pending, net::HostId target) {
+  pending.target = target;
+  pending.tried.push_back(target);
+
+  RequestMsg request;
+  request.request_id = pending.id;
+  request.reply_host = self();
+  request.reply_port = config_.reply_port;
+  request.service = pending.service;
+  request.partition = pending.partition;
+  request.request_bytes = pending.request_bytes;
+  request.response_bytes = pending.response_bytes;
+  net_.send_unicast(self(), net::Address{target, config_.provider_port},
+                    encode_service_message(request));
+
+  uint64_t id = pending.id;
+  sim_.cancel(pending.request_timer);
+  pending.request_timer =
+      sim_.schedule_after(config_.request_timeout, [this, id] {
+        request_deadline(id);
+      });
+}
+
+void ServiceConsumer::request_deadline(uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  it->second.request_timer = sim::kInvalidEventId;
+  attempt(id);  // target silent: try the next replica
+}
+
+void ServiceConsumer::attempt_proxy(Pending& pending) {
+  if (!config_.proxy_fallback || pending.via_proxy) {
+    InvokeResult result;
+    result.status = ResponseStatus::kUnavailable;
+    result.attempts = pending.attempts;
+    finish(pending.id, result);
+    return;
+  }
+  auto proxies = membership_.table().lookup(proxy::kProxyServiceName, "*");
+  std::vector<net::HostId> hosts;
+  for (const auto* entry : proxies) {
+    if (entry->data.node != self()) hosts.push_back(entry->data.node);
+  }
+  if (hosts.empty()) {
+    InvokeResult result;
+    result.status = ResponseStatus::kUnavailable;
+    result.attempts = pending.attempts;
+    finish(pending.id, result);
+    return;
+  }
+  pending.via_proxy = true;
+  net::HostId proxy_host = sim_.rng().pick(hosts);
+
+  RequestMsg request;
+  request.request_id = pending.id;
+  request.reply_host = self();
+  request.reply_port = config_.reply_port;
+  request.service = pending.service;
+  request.partition = pending.partition;
+  request.request_bytes = pending.request_bytes;
+  request.response_bytes = pending.response_bytes;
+  request.relay_hops = 1;
+  net_.send_unicast(self(), net::Address{proxy_host, config_.relay_port},
+                    encode_service_message(request));
+
+  uint64_t id = pending.id;
+  sim_.cancel(pending.request_timer);
+  pending.request_timer =
+      sim_.schedule_after(config_.relay_timeout, [this, id] {
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;
+        InvokeResult result;
+        result.status = ResponseStatus::kUnavailable;
+        result.attempts = it->second.attempts;
+        result.via_proxy = true;
+        finish(id, result);
+      });
+}
+
+void ServiceConsumer::finish(uint64_t id, const InvokeResult& result) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  Pending pending = std::move(it->second);
+  sim_.cancel(pending.poll_timer);
+  sim_.cancel(pending.request_timer);
+  poll_to_request_.erase(pending.poll_id);
+  pending_.erase(it);
+
+  InvokeResult final_result = result;
+  final_result.latency = sim_.now() - pending.started;
+  pending.callback(final_result);
+}
+
+void ServiceConsumer::on_packet(const net::Packet& packet) {
+  auto message = decode_service_message(packet);
+  if (!message) return;
+
+  if (auto* reply = std::get_if<LoadReplyMsg>(&*message)) {
+    auto mapping = poll_to_request_.find(reply->poll_id);
+    if (mapping == poll_to_request_.end()) return;
+    auto it = pending_.find(mapping->second);
+    if (it == pending_.end()) return;
+    Pending& pending = it->second;
+    pending.poll_replies.emplace_back(reply->from, reply->load);
+    if (static_cast<int>(pending.poll_replies.size()) >=
+        pending.polls_outstanding) {
+      sim_.cancel(pending.poll_timer);
+      pending.poll_timer = sim::kInvalidEventId;
+      poll_to_request_.erase(pending.poll_id);
+      auto best = std::min_element(
+          pending.poll_replies.begin(), pending.poll_replies.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      dispatch(pending, best->first);
+    }
+    return;
+  }
+
+  if (auto* response = std::get_if<ResponseMsg>(&*message)) {
+    auto it = pending_.find(response->request_id);
+    if (it == pending_.end()) return;
+    Pending& pending = it->second;
+    switch (response->status) {
+      case ResponseStatus::kOk: {
+        InvokeResult result;
+        result.ok = true;
+        result.status = ResponseStatus::kOk;
+        result.server = response->from;
+        result.attempts = pending.attempts;
+        result.via_proxy = pending.via_proxy;
+        finish(response->request_id, result);
+        return;
+      }
+      case ResponseStatus::kNotHosted:
+      case ResponseStatus::kOverloaded: {
+        if (pending.via_proxy) {
+          InvokeResult result;
+          result.status = response->status;
+          result.attempts = pending.attempts;
+          result.via_proxy = true;
+          finish(response->request_id, result);
+          return;
+        }
+        sim_.cancel(pending.request_timer);
+        pending.request_timer = sim::kInvalidEventId;
+        attempt(response->request_id);
+        return;
+      }
+      case ResponseStatus::kUnavailable: {
+        InvokeResult result;
+        result.status = ResponseStatus::kUnavailable;
+        result.attempts = pending.attempts;
+        result.via_proxy = pending.via_proxy;
+        finish(response->request_id, result);
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace tamp::service

@@ -1,0 +1,115 @@
+// Service consumer (the Neptune consumer module).
+//
+// Location-transparent invocation: the caller names (service, partition);
+// the consumer resolves live providers through the local membership
+// directory, balances load with the paper's random-polling scheme (probe d
+// random replicas for their queue length, dispatch to the lightest), and
+// fails over — first to other local replicas, then, when the service has no
+// local provider at all, through the membership proxy to a remote
+// datacenter (paper Fig. 6).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "protocols/daemon.h"
+#include "protocols/ports.h"
+#include "service/messages.h"
+#include "sim/simulation.h"
+
+namespace tamp::service {
+
+inline constexpr net::Port kProxyRelayPort = 10072;
+
+struct ConsumerConfig {
+  net::Port reply_port = protocols::kServiceReplyPort;
+  net::Port provider_port = protocols::kServicePort;
+  net::Port relay_port = kProxyRelayPort;
+  int poll_candidates = 2;  // paper: random polling over d replicas
+  sim::Duration poll_timeout = 20 * sim::kMillisecond;
+  sim::Duration request_timeout = 400 * sim::kMillisecond;
+  sim::Duration relay_timeout = 2 * sim::kSecond;  // WAN path is slower
+  int max_attempts = 3;
+  bool proxy_fallback = true;
+};
+
+struct InvokeResult {
+  bool ok = false;
+  ResponseStatus status = ResponseStatus::kUnavailable;
+  sim::Duration latency = 0;
+  net::HostId server = net::kInvalidHost;
+  bool via_proxy = false;
+  int attempts = 0;
+};
+
+class ServiceConsumer {
+ public:
+  using Callback = std::function<void(const InvokeResult&)>;
+
+  ServiceConsumer(sim::Simulation& sim, net::Network& net,
+                  protocols::MembershipDaemon& membership,
+                  ConsumerConfig config = {});
+  ~ServiceConsumer();
+
+  ServiceConsumer(const ServiceConsumer&) = delete;
+  ServiceConsumer& operator=(const ServiceConsumer&) = delete;
+
+  void start();
+  void stop();
+
+  // Asynchronously invoke (service, partition). The callback fires exactly
+  // once, on completion or final failure.
+  void invoke(const std::string& service, int partition,
+              uint32_t request_bytes, uint32_t response_bytes,
+              Callback callback);
+
+  net::HostId self() const { return membership_.self(); }
+  uint64_t invocations() const { return next_id_counter_; }
+  const ConsumerConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    uint64_t id = 0;
+    std::string service;
+    int partition = 0;
+    uint32_t request_bytes = 0;
+    uint32_t response_bytes = 0;
+    Callback callback;
+    sim::Time started = 0;
+    int attempts = 0;
+    bool via_proxy = false;
+    std::vector<net::HostId> tried;
+    // Poll phase.
+    uint64_t poll_id = 0;
+    int polls_outstanding = 0;
+    std::vector<std::pair<net::HostId, uint32_t>> poll_replies;
+    sim::EventId poll_timer = sim::kInvalidEventId;
+    // Request phase.
+    net::HostId target = net::kInvalidHost;
+    sim::EventId request_timer = sim::kInvalidEventId;
+  };
+
+  uint64_t next_id();
+  void attempt(uint64_t id);
+  void start_poll(Pending& pending, std::vector<net::HostId> candidates);
+  void poll_deadline(uint64_t id);
+  void dispatch(Pending& pending, net::HostId target);
+  void request_deadline(uint64_t id);
+  void attempt_proxy(Pending& pending);
+  void finish(uint64_t id, const InvokeResult& result);
+  void on_packet(const net::Packet& packet);
+  std::vector<net::HostId> live_candidates(const Pending& pending) const;
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  protocols::MembershipDaemon& membership_;
+  ConsumerConfig config_;
+  bool running_ = false;
+  uint64_t next_id_counter_ = 0;
+  std::map<uint64_t, Pending> pending_;
+  std::map<uint64_t, uint64_t> poll_to_request_;
+};
+
+}  // namespace tamp::service

@@ -1,0 +1,49 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace tamp::sim {
+
+EventId EventQueue::push(Time t, std::function<void()> fn) {
+  EventId id = next_seq_++;
+  heap_.push(HeapEntry{t, id});
+  pending_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId) return false;
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  pending_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  skip_cancelled();
+  TAMP_CHECK(!heap_.empty());
+  return heap_.top().t;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  TAMP_CHECK(!heap_.empty());
+  HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = pending_.find(top.seq);
+  TAMP_CHECK(it != pending_.end());
+  Fired fired{top.t, top.seq, std::move(it->second)};
+  pending_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace tamp::sim

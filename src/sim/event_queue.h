@@ -1,0 +1,68 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary heap of (time, sequence) keys. Ties in time are broken by
+// insertion order so execution is fully deterministic. Cancellation is
+// lazy: cancelled entries stay in the heap and are skipped on pop, which
+// keeps cancel() O(1) — protocols cancel timers constantly (every heartbeat
+// refreshes a failure-suspicion timer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tamp::sim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventId push(Time t, std::function<void()> fn);
+
+  // Cancels a pending event; returns false if it already ran or was
+  // cancelled. Safe to call with kInvalidEventId.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_count_ == 0; }
+  size_t size() const { return live_count_; }
+
+  // Time of the earliest pending event; undefined when empty().
+  Time next_time();
+
+  // Pops and returns the earliest event's callback, advancing past cancelled
+  // entries. Must not be called when empty().
+  struct Fired {
+    Time t;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+  uint64_t total_scheduled() const { return next_seq_ - 1; }
+
+ private:
+  struct HeapEntry {
+    Time t;
+    uint64_t seq;  // doubles as EventId
+    bool operator>(const HeapEntry& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  void skip_cancelled();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
+  std::unordered_map<EventId, std::function<void()>> pending_;
+  uint64_t next_seq_ = 1;
+  size_t live_count_ = 0;
+};
+
+}  // namespace tamp::sim

@@ -1,0 +1,101 @@
+// Timer helpers built on Simulation.
+//
+// PeriodicTimer fires a callback every `period`, optionally with a random
+// initial phase so a cluster's heartbeats don't all fire on the same tick
+// (mirrors real daemons starting at different times). OneShotTimer is a
+// restartable deadline — the idiom for failure-suspicion timeouts.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace tamp::sim {
+
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulation& sim, Duration period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  // Starts ticking; first fire after `initial_delay` (default: one period).
+  void start(Duration initial_delay = -1) {
+    stop();
+    running_ = true;
+    Duration first = initial_delay >= 0 ? initial_delay : period_;
+    event_ = sim_.schedule_after(first, [this] { fire(); });
+  }
+
+  // Starts with a uniformly random phase in [0, period).
+  void start_with_random_phase() {
+    start(static_cast<Duration>(
+        sim_.rng().uniform_u64(static_cast<uint64_t>(period_))));
+  }
+
+  void stop() {
+    if (running_) {
+      sim_.cancel(event_);
+      running_ = false;
+      event_ = kInvalidEventId;
+    }
+  }
+
+  bool running() const { return running_; }
+  Duration period() const { return period_; }
+  void set_period(Duration period) { period_ = period; }
+
+ private:
+  void fire() {
+    if (!running_) return;
+    event_ = sim_.schedule_after(period_, [this] { fire(); });
+    fn_();
+  }
+
+  Simulation& sim_;
+  Duration period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventId event_ = kInvalidEventId;
+};
+
+class OneShotTimer {
+ public:
+  OneShotTimer(Simulation& sim, std::function<void()> fn)
+      : sim_(sim), fn_(std::move(fn)) {}
+
+  ~OneShotTimer() { cancel(); }
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  // (Re)arm the timer to fire after `delay`; any previous arm is cancelled.
+  void restart(Duration delay) {
+    cancel();
+    armed_ = true;
+    event_ = sim_.schedule_after(delay, [this] {
+      armed_ = false;
+      fn_();
+    });
+  }
+
+  void cancel() {
+    if (armed_) {
+      sim_.cancel(event_);
+      armed_ = false;
+      event_ = kInvalidEventId;
+    }
+  }
+
+  bool armed() const { return armed_; }
+
+ private:
+  Simulation& sim_;
+  std::function<void()> fn_;
+  bool armed_ = false;
+  EventId event_ = kInvalidEventId;
+};
+
+}  // namespace tamp::sim

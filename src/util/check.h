@@ -1,0 +1,33 @@
+// Lightweight runtime assertion macros used across the library.
+//
+// TAMP_CHECK(cond) aborts with a message when `cond` is false, in every build
+// type. It is used for internal invariants whose violation means the process
+// state is corrupt; recoverable errors use exceptions or status returns.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tamp::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "TAMP_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace tamp::util
+
+#define TAMP_CHECK(cond)                                    \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::tamp::util::check_failed(#cond, __FILE__, __LINE__); \
+    }                                                       \
+  } while (0)
+
+#define TAMP_CHECK_MSG(cond, msg)                          \
+  do {                                                     \
+    if (!(cond)) {                                         \
+      ::tamp::util::check_failed(msg, __FILE__, __LINE__); \
+    }                                                      \
+  } while (0)

@@ -1,0 +1,139 @@
+#include "util/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace tamp::util {
+
+int64_t& FlagSet::add_int(const std::string& name, int64_t default_value,
+                          const std::string& help) {
+  Flag flag;
+  flag.type = Flag::Type::kInt;
+  flag.help = help;
+  flag.default_repr = std::to_string(default_value);
+  flag.int_value = std::make_unique<int64_t>(default_value);
+  auto [it, inserted] = flags_.emplace(name, std::move(flag));
+  TAMP_CHECK_MSG(inserted, "duplicate flag");
+  return *it->second.int_value;
+}
+
+double& FlagSet::add_double(const std::string& name, double default_value,
+                            const std::string& help) {
+  Flag flag;
+  flag.type = Flag::Type::kDouble;
+  flag.help = help;
+  flag.default_repr = strformat("%g", default_value);
+  flag.double_value = std::make_unique<double>(default_value);
+  auto [it, inserted] = flags_.emplace(name, std::move(flag));
+  TAMP_CHECK_MSG(inserted, "duplicate flag");
+  return *it->second.double_value;
+}
+
+bool& FlagSet::add_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  Flag flag;
+  flag.type = Flag::Type::kBool;
+  flag.help = help;
+  flag.default_repr = default_value ? "true" : "false";
+  flag.bool_value = std::make_unique<bool>(default_value);
+  auto [it, inserted] = flags_.emplace(name, std::move(flag));
+  TAMP_CHECK_MSG(inserted, "duplicate flag");
+  return *it->second.bool_value;
+}
+
+std::string& FlagSet::add_string(const std::string& name,
+                                 const std::string& default_value,
+                                 const std::string& help) {
+  Flag flag;
+  flag.type = Flag::Type::kString;
+  flag.help = help;
+  flag.default_repr = default_value;
+  flag.string_value = std::make_unique<std::string>(default_value);
+  auto [it, inserted] = flags_.emplace(name, std::move(flag));
+  TAMP_CHECK_MSG(inserted, "duplicate flag");
+  return *it->second.string_value;
+}
+
+bool FlagSet::apply(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return false;
+  Flag& flag = it->second;
+  switch (flag.type) {
+    case Flag::Type::kInt: {
+      auto v = parse_int(value);
+      if (!v) return false;
+      *flag.int_value = *v;
+      return true;
+    }
+    case Flag::Type::kDouble: {
+      auto v = parse_double(value);
+      if (!v) return false;
+      *flag.double_value = *v;
+      return true;
+    }
+    case Flag::Type::kBool: {
+      std::string lower = to_lower(value);
+      if (lower == "true" || lower == "1" || lower == "yes" || lower.empty()) {
+        *flag.bool_value = true;
+      } else if (lower == "false" || lower == "0" || lower == "no") {
+        *flag.bool_value = false;
+      } else {
+        return false;
+      }
+      return true;
+    }
+    case Flag::Type::kString:
+      *flag.string_value = value;
+      return true;
+  }
+  return false;
+}
+
+void FlagSet::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", usage().c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n%s", arg.c_str(),
+                   usage().c_str());
+      std::exit(2);
+    }
+    std::string body = arg.substr(2);
+    std::string name, value;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      auto it = flags_.find(name);
+      bool is_bool = it != flags_.end() && it->second.type == Flag::Type::kBool;
+      if (!is_bool && i + 1 < argc) {
+        value = argv[++i];
+      }
+    }
+    if (!apply(name, value)) {
+      std::fprintf(stderr, "bad flag '%s'\n%s", arg.c_str(), usage().c_str());
+      std::exit(2);
+    }
+  }
+}
+
+std::string FlagSet::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name << " (default " << flag.default_repr << ")  "
+        << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tamp::util

@@ -1,0 +1,54 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace tamp::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_time_source(std::function<std::string()> source) {
+  time_source_ = std::move(source);
+}
+
+void Logger::clear_time_source() { time_source_ = nullptr; }
+
+void Logger::set_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  sink_ = std::move(sink);
+}
+
+void Logger::clear_sink() { sink_ = nullptr; }
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::string prefix;
+  if (time_source_) prefix = "[" + time_source_() + "] ";
+  if (sink_) {
+    sink_(level, prefix + message);
+    return;
+  }
+  std::fprintf(stderr, "%s%-5s %s\n", prefix.c_str(), log_level_name(level),
+               message.c_str());
+}
+
+}  // namespace tamp::util

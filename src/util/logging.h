@@ -1,0 +1,92 @@
+// Minimal streaming logger.
+//
+// Usage:
+//   TAMP_LOG(Info) << "node " << id << " elected leader";
+//
+// The logger is process-global. Severity below the configured threshold is
+// compiled down to a no-op stream. Benchmarks set the threshold to Warn so
+// logging never perturbs measured rates. A simulation-time hook can be
+// installed so log lines carry virtual time instead of wall time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace tamp::util {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  // When set, each line is prefixed with the returned virtual-time string.
+  void set_time_source(std::function<std::string()> source);
+  void clear_time_source();
+
+  // Redirect output (tests capture lines; default writes to stderr).
+  void set_sink(std::function<void(LogLevel, const std::string&)> sink);
+  void clear_sink();
+
+  void write(LogLevel level, const std::string& message);
+
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<std::string()> time_source_;
+  std::function<void(LogLevel, const std::string&)> sink_;
+};
+
+// One log statement: accumulates into a stringstream, flushes on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::instance().write(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream when the level is disabled.
+struct NullLogMessage {
+  template <typename T>
+  NullLogMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace tamp::util
+
+#define TAMP_LOG(severity)                                            \
+  if (!::tamp::util::Logger::instance().enabled(                      \
+          ::tamp::util::LogLevel::k##severity))                       \
+    ;                                                                 \
+  else                                                                \
+    ::tamp::util::LogMessage(::tamp::util::LogLevel::k##severity)

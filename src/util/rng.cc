@@ -1,0 +1,107 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace tamp::util {
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::uniform_u64(uint64_t bound) {
+  TAMP_CHECK(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  TAMP_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(next_u64());  // full range
+  return lo + static_cast<int64_t>(uniform_u64(span));
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+double Rng::exponential(double mean) {
+  TAMP_CHECK(mean > 0.0);
+  double u;
+  do {
+    u = uniform_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+int64_t Rng::poisson(double mean) {
+  TAMP_CHECK(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 64.0) {
+    const double limit = std::exp(-mean);
+    double product = uniform_double();
+    int64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform_double();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  double u1, u2;
+  do {
+    u1 = uniform_double();
+  } while (u1 <= 0.0);
+  u2 = uniform_double();
+  const double gauss =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  double value = mean + std::sqrt(mean) * gauss + 0.5;
+  if (value < 0.0) value = 0.0;
+  return static_cast<int64_t>(value);
+}
+
+Rng Rng::fork() {
+  // Mix two draws into the child's seed so the parent stream advances and the
+  // child is decorrelated.
+  uint64_t a = next_u64();
+  uint64_t b = next_u64();
+  return Rng(a ^ rotl(b, 29) ^ 0xa0761d6478bd642fULL);
+}
+
+}  // namespace tamp::util

@@ -1,0 +1,73 @@
+// Deterministic pseudo-random number generation.
+//
+// Every source of randomness in the library (gossip peer choice, packet
+// loss, workload inter-arrival, backup-leader choice) draws from an Rng that
+// is seeded explicitly, so a simulation run is a pure function of its seed.
+//
+// The generator is xoshiro256**, seeded via SplitMix64 — fast, high quality,
+// and trivially reproducible across platforms (no reliance on libstdc++
+// distribution internals: we implement the distributions we need).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tamp::util {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { reseed(seed); }
+
+  void reseed(uint64_t seed);
+
+  // Raw 64 random bits.
+  uint64_t next_u64();
+
+  // Uniform in [0, bound) without modulo bias. bound must be > 0.
+  uint64_t uniform_u64(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform_double();
+
+  // Bernoulli trial.
+  bool bernoulli(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  // Poisson-distributed count with the given mean (Knuth for small means,
+  // normal approximation above 64).
+  int64_t poisson(double mean);
+
+  // Fork a child generator whose stream is independent of subsequent draws
+  // from this one. Used to give each simulated host its own stream so adding
+  // a host does not perturb the randomness seen by others.
+  Rng fork();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(uniform_u64(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Pick a uniformly random element index; container must be non-empty.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    TAMP_CHECK(!items.empty());
+    return items[uniform_u64(items.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace tamp::util

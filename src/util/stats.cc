@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tamp::util {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const int64_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) /
+                         static_cast<double>(total);
+  mean_ += delta * static_cast<double>(other.count_) /
+           static_cast<double>(total);
+  count_ = total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats(); }
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Percentiles::ensure_sorted() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Percentiles::percentile(double q) {
+  TAMP_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Percentiles::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Percentiles::max() {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+void WindowedRate::add(int64_t now_ns, double amount) {
+  evict(now_ns);
+  samples_.push_back({now_ns, amount});
+  in_window_ += amount;
+  total_ += amount;
+}
+
+double WindowedRate::rate_per_sec(int64_t now_ns) {
+  evict(now_ns);
+  if (window_ns_ <= 0) return 0.0;
+  return in_window_ * 1e9 / static_cast<double>(window_ns_);
+}
+
+void WindowedRate::evict(int64_t now_ns) {
+  while (!samples_.empty() && samples_.front().t <= now_ns - window_ns_) {
+    in_window_ -= samples_.front().amount;
+    samples_.pop_front();
+  }
+}
+
+std::string TimeSeries::to_csv() const {
+  std::ostringstream out;
+  out << "t," << name_ << "\n";
+  for (const auto& p : points_) out << p.t << "," << p.value << "\n";
+  return out.str();
+}
+
+}  // namespace tamp::util

@@ -1,0 +1,112 @@
+// Statistics helpers used by benchmarks and the evaluation harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tamp::util {
+
+// Streaming mean / variance / min / max (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Stores samples and answers percentile queries. Intended for latency
+// distributions in the evaluation harness (sample counts are modest).
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // q in [0, 1]; linear interpolation between closest ranks.
+  double percentile(double q);
+  double median() { return percentile(0.5); }
+  double p95() { return percentile(0.95); }
+  double p99() { return percentile(0.99); }
+  double mean() const;
+  double max();
+  void reset() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+// Counts events (packets, bytes) within a sliding window of virtual time;
+// used to report instantaneous rates like "received multicast packets per
+// second" for the Figure 2 reproduction.
+class WindowedRate {
+ public:
+  explicit WindowedRate(int64_t window_ns) : window_ns_(window_ns) {}
+
+  void add(int64_t now_ns, double amount);
+  // Rate per second over the window ending at `now_ns`.
+  double rate_per_sec(int64_t now_ns);
+  double total() const { return total_; }
+
+ private:
+  void evict(int64_t now_ns);
+  struct Sample {
+    int64_t t;
+    double amount;
+  };
+  int64_t window_ns_;
+  std::deque<Sample> samples_;
+  double in_window_ = 0.0;
+  double total_ = 0.0;
+};
+
+// A (time, value) series with CSV/console rendering — benches emit these as
+// the figures' data series.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void add(double t, double value) { points_.push_back({t, value}); }
+  const std::string& name() const { return name_; }
+  size_t size() const { return points_.size(); }
+
+  struct Point {
+    double t;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+
+  std::string to_csv() const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+}  // namespace tamp::util

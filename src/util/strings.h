@@ -1,0 +1,38 @@
+// Small string helpers shared by the config parser, partition-spec matcher
+// and benchmark table printers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tamp::util {
+
+// Split on a delimiter; empty fields are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view text, char delim);
+
+// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+std::string to_lower(std::string_view text);
+
+// Parse helpers returning nullopt on malformed input (never throw).
+std::optional<int64_t> parse_int(std::string_view text);
+std::optional<double> parse_double(std::string_view text);
+
+// Expand a partition specification like "0", "1-3", "0,2,5-7" into the sorted
+// list of partition ids. "*" (or empty) returns nullopt, meaning "all".
+// Malformed specs also return an empty vector inside the optional? No:
+// malformed specs return an empty list (matches nothing) and the caller may
+// log. See tests for exact behaviour.
+std::optional<std::vector<int>> expand_partition_spec(std::string_view spec);
+
+// printf-style formatting into std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count ("1.5 MB").
+std::string human_bytes(double bytes);
+
+}  // namespace tamp::util

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/cost_model.h"
+#include "analysis/models.h"
+
+namespace tamp::analysis {
+namespace {
+
+ModelParams at(double n) {
+  ModelParams p;
+  p.n = n;
+  return p;
+}
+
+TEST(Models, TreeHeight) {
+  EXPECT_DOUBLE_EQ(tree_height(10, 20), 1.0);
+  EXPECT_DOUBLE_EQ(tree_height(100, 20), 2.0);
+  EXPECT_DOUBLE_EQ(tree_height(4000, 20), 3.0);
+}
+
+TEST(Models, GroupCount) {
+  // Paper: (n-1)/(g-1).
+  EXPECT_NEAR(group_count(100, 20), 99.0 / 19.0, 1e-12);
+}
+
+TEST(Models, BandwidthOrdering) {
+  // Hierarchical must use the least bandwidth; gossip and all-to-all are
+  // both quadratic (Figure 11's message).
+  for (double n : {40.0, 100.0, 1000.0}) {
+    ModelParams p = at(n);
+    EXPECT_LT(hier_bandwidth(p), a2a_bandwidth(p));
+    EXPECT_LT(hier_bandwidth(p), gossip_bandwidth(p));
+  }
+}
+
+TEST(Models, A2aAndGossipQuadraticHierLinear) {
+  double a2a_ratio = a2a_bandwidth(at(200)) / a2a_bandwidth(at(100));
+  double gossip_ratio = gossip_bandwidth(at(200)) / gossip_bandwidth(at(100));
+  double hier_ratio = hier_bandwidth(at(200)) / hier_bandwidth(at(100));
+  EXPECT_NEAR(a2a_ratio, 4.0, 0.1);
+  EXPECT_NEAR(gossip_ratio, 4.0, 0.1);
+  EXPECT_NEAR(hier_ratio, 2.0, 0.15);  // ~linear
+}
+
+TEST(Models, DetectionTimesFixedFrequency) {
+  ModelParams p = at(100);
+  EXPECT_DOUBLE_EQ(a2a_detection(p), 5.0);
+  EXPECT_DOUBLE_EQ(hier_detection(p), 5.0);
+  // Gossip: c0 + c1*log2(100) periods ~ 17.1 s, growing with n.
+  EXPECT_NEAR(gossip_detection(p), 5.5 + 1.75 * std::log2(100.0), 1e-9);
+  EXPECT_GT(gossip_detection(at(1000)), gossip_detection(at(100)));
+}
+
+TEST(Models, ConvergenceAddsTreePropagation) {
+  ModelParams p = at(100);
+  EXPECT_GT(hier_convergence(p), hier_detection(p));
+  EXPECT_LT(hier_convergence(p) - hier_detection(p), 0.1);  // ms-scale
+  EXPECT_DOUBLE_EQ(a2a_convergence(p), a2a_detection(p));
+}
+
+TEST(Models, BdpOrderingHierBest) {
+  for (double n : {100.0, 1000.0, 4000.0}) {
+    ModelParams p = at(n);
+    EXPECT_LT(hier_bdp(p), a2a_bdp(p));
+    EXPECT_LT(a2a_bdp(p), gossip_bdp(p));
+    EXPECT_LT(hier_bcp(p), a2a_bcp(p));
+  }
+}
+
+TEST(Models, BdpIndependentOfBudget) {
+  ModelParams p1 = at(500);
+  ModelParams p2 = at(500);
+  p2.bandwidth = p1.bandwidth * 10;
+  EXPECT_NEAR(a2a_bdp(p1), a2a_bdp(p2), 1e-6);
+  EXPECT_NEAR(hier_bdp(p1), hier_bdp(p2), 1e-6);
+}
+
+TEST(Models, DetectionAtBudgetScalesQuadraticallyForA2a) {
+  double ratio = a2a_detection_at_budget(at(2000)) /
+                 a2a_detection_at_budget(at(1000));
+  EXPECT_NEAR(ratio, 4.0, 0.1);
+  double hier_ratio = hier_detection_at_budget(at(2000)) /
+                      hier_detection_at_budget(at(1000));
+  EXPECT_LT(hier_ratio, 2.3);
+}
+
+TEST(Models, CompareSchemesTable) {
+  auto rows = compare_schemes(at(100));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].scheme, "all-to-all");
+  EXPECT_EQ(rows[2].scheme, "hierarchical");
+  EXPECT_LT(rows[2].bandwidth_fixed_freq, rows[0].bandwidth_fixed_freq);
+  EXPECT_LT(rows[2].bdp, rows[0].bdp);
+}
+
+TEST(CostModel, Figure2Calibration) {
+  CpuCostModel cpu;
+  // Paper Figure 2: ~4.5% CPU at 4000 heartbeat packets per second.
+  EXPECT_NEAR(cpu.cpu_percent(4000), 4.5, 0.2);
+  EXPECT_NEAR(cpu.cpu_percent(0), 0.0, 1e-12);
+
+  LinkModel link;
+  // 4000 nodes x 1024-byte heartbeats/s ~ 4 MB/s ~ 32% of Fast Ethernet.
+  EXPECT_NEAR(link.utilization_percent(4000.0 * 1024.0), 32.8, 1.0);
+}
+
+}  // namespace
+}  // namespace tamp::analysis

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "api/mclient.h"
+#include "api/mservice.h"
+#include "net/builders.h"
+
+namespace tamp::api {
+namespace {
+
+constexpr char kPaperConfig[] = R"(
+*SYSTEM
+SHM_KEY = 999
+MAX_TTL = 4
+MCAST_ADDR = 239.255.0.2
+MCAST_PORT = 10050
+MCAST_FREQ = 1
+MAX_LOSS = 5
+
+*SERVICE
+[HTTP]
+    PARTITION = 0
+    Port = 8080
+[Cache]
+    PARTITION = 2
+)";
+
+TEST(Config, ParsesPaperExample) {
+  std::string error;
+  auto config = parse_config(kPaperConfig, &error);
+  ASSERT_TRUE(config.has_value()) << error;
+  EXPECT_EQ(config->system.shm_key, 999);
+  EXPECT_EQ(config->system.max_ttl, 4);
+  EXPECT_EQ(config->system.mcast_addr, "239.255.0.2");
+  EXPECT_EQ(config->system.mcast_port, 10050);
+  EXPECT_DOUBLE_EQ(config->system.mcast_freq, 1.0);
+  EXPECT_EQ(config->system.max_loss, 5);
+  ASSERT_EQ(config->services.size(), 2u);
+  EXPECT_EQ(config->services[0].name, "HTTP");
+  EXPECT_EQ(config->services[0].partition_spec, "0");
+  EXPECT_EQ(config->services[0].params.at("Port"), "8080");
+  EXPECT_EQ(config->services[1].name, "Cache");
+  EXPECT_EQ(config->services[1].partition_spec, "2");
+}
+
+TEST(Config, EmptyTextYieldsDefaults) {
+  auto config = parse_config("");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->system.shm_key, 999);
+  EXPECT_TRUE(config->services.empty());
+}
+
+TEST(Config, CommentsAndBlankLinesIgnored) {
+  auto config = parse_config("# hello\n\n*SYSTEM\n; note\nMAX_TTL = 2\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->system.max_ttl, 2);
+}
+
+TEST(Config, RejectsUnknownSection) {
+  std::string error;
+  EXPECT_FALSE(parse_config("*BOGUS\nA = 1\n", &error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(Config, RejectsUnknownSystemKey) {
+  std::string error;
+  EXPECT_FALSE(parse_config("*SYSTEM\nWAT = 1\n", &error).has_value());
+}
+
+TEST(Config, RejectsNonNumericValue) {
+  std::string error;
+  EXPECT_FALSE(parse_config("*SYSTEM\nMAX_TTL = lots\n", &error).has_value());
+}
+
+TEST(Config, RejectsKeyOutsideSection) {
+  std::string error;
+  EXPECT_FALSE(parse_config("MAX_TTL = 4\n", &error).has_value());
+}
+
+TEST(Config, RejectsServiceKeyBeforeHeader) {
+  std::string error;
+  EXPECT_FALSE(
+      parse_config("*SERVICE\nPARTITION = 1\n", &error).has_value());
+}
+
+TEST(Config, McastAddrMapsToStableChannel) {
+  EXPECT_EQ(channel_for_mcast_addr("239.255.0.2"),
+            channel_for_mcast_addr("239.255.0.2"));
+  EXPECT_NE(channel_for_mcast_addr("239.255.0.2"),
+            channel_for_mcast_addr("239.255.0.3"));
+}
+
+struct ApiFixture : public ::testing::Test {
+  sim::Simulation sim{51};
+  net::Topology topo;
+  net::ClusterLayout layout;
+  std::unique_ptr<net::Network> net;
+  DirectoryStore store;
+  std::vector<std::unique_ptr<MService>> services;
+
+  void build(int racks, int hosts_per_rack) {
+    net::RackedClusterParams params;
+    params.racks = racks;
+    params.hosts_per_rack = hosts_per_rack;
+    layout = net::build_racked_cluster(topo, params);
+    net = std::make_unique<net::Network>(sim, topo);
+    for (net::HostId host : layout.hosts) {
+      services.push_back(
+          std::make_unique<MService>(sim, *net, store, host, kPaperConfig));
+      EXPECT_TRUE(services.back()->config_error().empty());
+      EXPECT_EQ(services.back()->run(), 0);
+    }
+  }
+};
+
+TEST_F(ApiFixture, FullStackConvergesAndClientSeesServices) {
+  build(2, 4);
+  sim.run_until(15 * sim::kSecond);
+
+  MClient client(store, layout.hosts[0], 999);
+  ASSERT_TRUE(client.attached());
+
+  MachineList machines;
+  // Every node registered HTTP partition 0 from the shared config file.
+  int count = client.lookup_service("HTTP", "0", &machines);
+  EXPECT_EQ(count, 8);
+  ASSERT_EQ(machines.size(), 8u);
+
+  // Attributes include the service parameters from the config file.
+  bool port_found = false;
+  for (const auto& [key, value] : machines[0]) {
+    if (key == "service.HTTP.Port" && value == "8080") port_found = true;
+  }
+  EXPECT_TRUE(port_found);
+
+  // Regex + partition spec work through the client API too.
+  EXPECT_EQ(client.lookup_service("(HTTP|Cache)", "2", nullptr), 8);
+  EXPECT_EQ(client.lookup_service("Cache", "0-1", nullptr), 0);
+}
+
+TEST_F(ApiFixture, UpdateValuePropagates) {
+  build(2, 3);
+  sim.run_until(15 * sim::kSecond);
+  services[0]->update_value("load", "0.42");
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+
+  MClient client(store, layout.hosts[5], 999);
+  MachineList machines;
+  client.lookup_service("HTTP", "*", &machines);
+  bool seen = false;
+  for (const auto& machine : machines) {
+    for (const auto& [key, value] : machine) {
+      if (key == "load" && value == "0.42") seen = true;
+    }
+  }
+  EXPECT_TRUE(seen);
+
+  services[0]->delete_value("load");
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+  machines.clear();
+  client.lookup_service("HTTP", "*", &machines);
+  for (const auto& machine : machines) {
+    for (const auto& [key, value] : machine) {
+      EXPECT_FALSE(key == "load" && value == "0.42");
+    }
+  }
+}
+
+TEST_F(ApiFixture, RegisterServiceAtRuntime) {
+  build(1, 4);
+  sim.run_until(10 * sim::kSecond);
+  services[2]->register_service("Retriever", "1-3");
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+
+  MClient client(store, layout.hosts[0], 999);
+  MachineList machines;
+  EXPECT_EQ(client.lookup_service("Retriever", "2", &machines), 1);
+}
+
+TEST_F(ApiFixture, ShutdownWithdrawsSegment) {
+  build(1, 3);
+  sim.run_until(8 * sim::kSecond);
+  MClient client(store, layout.hosts[0], 999);
+  EXPECT_TRUE(client.attached());
+  services[0]->shutdown();
+  EXPECT_FALSE(client.attached());
+  EXPECT_EQ(client.lookup_service("HTTP", "*", nullptr), -1);
+}
+
+TEST_F(ApiFixture, ControlAdjustsDaemonParameters) {
+  net::ClusterLayout small = net::build_single_segment(topo, 2);
+  net = std::make_unique<net::Network>(sim, topo);
+  MService service(sim, *net, store, small.hosts[0], kPaperConfig);
+  service.control(ControlCommand::kSetFrequency, 2.0);
+  service.control(ControlCommand::kSetMaxLoss, 3);
+  service.control(ControlCommand::kSetMaxTtl, 2);
+  ASSERT_EQ(service.run(), 0);
+  EXPECT_EQ(service.daemon().config().period, sim::kSecond / 2);
+  EXPECT_EQ(service.daemon().config().max_losses, 3);
+  EXPECT_EQ(service.daemon().config().max_ttl, 2);
+  EXPECT_EQ(service.run(), -1);  // double run rejected
+}
+
+TEST(ApiStandalone, MalformedConfigFallsBackToDefaults) {
+  sim::Simulation sim(1);
+  net::Topology topo;
+  auto layout = net::build_single_segment(topo, 2);
+  net::Network net(sim, topo);
+  DirectoryStore store;
+  MService service(sim, net, store, layout.hosts[0], "*SYSTEM\nMAX_TTL=oops");
+  EXPECT_FALSE(service.config_error().empty());
+  EXPECT_EQ(service.config().system.max_ttl, 4);  // default kept
+  EXPECT_EQ(service.run(), 0);
+}
+
+}  // namespace
+}  // namespace tamp::api

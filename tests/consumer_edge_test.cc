@@ -1,0 +1,213 @@
+// Edge cases of the Neptune consumer module's invocation state machine:
+// polling behavior, retry ordering, callback-exactly-once, and timeout
+// boundaries.
+#include <gtest/gtest.h>
+
+#include "net/builders.h"
+#include "protocols/cluster.h"
+#include "service/consumer.h"
+#include "service/provider.h"
+
+namespace tamp::service {
+namespace {
+
+struct ConsumerEdgeFixture : public ::testing::Test {
+  sim::Simulation sim{111};
+  net::Topology topo;
+  net::ClusterLayout layout;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<protocols::Cluster> cluster;
+  std::vector<std::unique_ptr<ServiceProvider>> providers;
+
+  void build(int hosts) {
+    layout = net::build_single_segment(topo, hosts);
+    net = std::make_unique<net::Network>(sim, topo);
+    protocols::Cluster::Options opts;
+    opts.scheme = protocols::Scheme::kHierarchical;
+    opts.hier.max_ttl = 1;
+    cluster = std::make_unique<protocols::Cluster>(sim, *net, layout.hosts,
+                                                   opts);
+    cluster->start_all();
+  }
+
+  ServiceProvider& add_provider(size_t index, const std::string& service,
+                                int partition) {
+    providers.push_back(
+        std::make_unique<ServiceProvider>(sim, *net, cluster->daemon(index)));
+    providers.back()->host_service(service, {partition});
+    providers.back()->start();
+    return *providers.back();
+  }
+};
+
+TEST_F(ConsumerEdgeFixture, CallbackFiresExactlyOnceOnSuccess) {
+  build(4);
+  add_provider(1, "svc", 0);
+  add_provider(2, "svc", 0);
+  ServiceConsumer consumer(sim, *net, cluster->daemon(0));
+  consumer.start();
+  sim.run_until(8 * sim::kSecond);
+
+  int calls = 0;
+  consumer.invoke("svc", 0, 10, 10, [&](const InvokeResult&) { ++calls; });
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ConsumerEdgeFixture, CallbackFiresExactlyOnceOnFailure) {
+  build(3);
+  ConsumerConfig config;
+  config.proxy_fallback = false;
+  ServiceConsumer consumer(sim, *net, cluster->daemon(0), config);
+  consumer.start();
+  sim.run_until(8 * sim::kSecond);
+
+  int calls = 0;
+  consumer.invoke("ghost", 0, 10, 10, [&](const InvokeResult&) { ++calls; });
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(ConsumerEdgeFixture, SingleReplicaSkipsPolling) {
+  build(3);
+  auto& provider = add_provider(1, "solo", 0);
+  ServiceConsumer consumer(sim, *net, cluster->daemon(0));
+  consumer.start();
+  sim.run_until(8 * sim::kSecond);
+
+  sim::Duration latency = -1;
+  consumer.invoke("solo", 0, 10, 10, [&](const InvokeResult& result) {
+    ASSERT_TRUE(result.ok);
+    latency = result.latency;
+  });
+  sim.run_until(sim.now() + 2 * sim::kSecond);
+  // No 20 ms poll round: straight dispatch + ~10 ms service time.
+  EXPECT_GT(latency, 0);
+  EXPECT_LT(latency, 150 * sim::kMillisecond);
+  EXPECT_EQ(provider.requests_served(), 1u);
+}
+
+TEST_F(ConsumerEdgeFixture, PollTimeoutFallsBackToResponders) {
+  build(5);
+  add_provider(1, "mix", 0);
+  add_provider(2, "mix", 0);
+  ServiceConsumer consumer(sim, *net, cluster->daemon(0));
+  consumer.start();
+  sim.run_until(8 * sim::kSecond);
+
+  // One of the two replicas silently dies (no membership update yet).
+  net->set_host_up(layout.hosts[1], false);
+  int ok = 0;
+  for (int i = 0; i < 8; ++i) {
+    consumer.invoke("mix", 0, 10, 10, [&](const InvokeResult& result) {
+      if (result.ok) {
+        ++ok;
+        EXPECT_EQ(result.server, layout.hosts[2]);
+      }
+    });
+  }
+  sim.run_until(sim.now() + 6 * sim::kSecond);
+  EXPECT_EQ(ok, 8);
+}
+
+TEST_F(ConsumerEdgeFixture, ExhaustedAttemptsReportUnavailable) {
+  build(5);
+  add_provider(1, "doomed", 0);
+  add_provider(2, "doomed", 0);
+  add_provider(3, "doomed", 0);
+  ConsumerConfig config;
+  config.proxy_fallback = false;
+  config.max_attempts = 2;
+  ServiceConsumer consumer(sim, *net, cluster->daemon(0), config);
+  consumer.start();
+  sim.run_until(8 * sim::kSecond);
+
+  // All replicas die silently.
+  for (size_t i : {1, 2, 3}) net->set_host_up(layout.hosts[i], false);
+  InvokeResult got;
+  bool done = false;
+  consumer.invoke("doomed", 0, 10, 10, [&](const InvokeResult& result) {
+    got = result;
+    done = true;
+  });
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(got.status, ResponseStatus::kUnavailable);
+  EXPECT_EQ(got.attempts, 2);
+  // Bounded by attempts x (poll timeout + request timeout).
+  EXPECT_LT(got.latency, 5 * sim::kSecond);
+}
+
+TEST_F(ConsumerEdgeFixture, ConcurrentInvocationsKeepIdsSeparate) {
+  build(4);
+  add_provider(1, "a", 0);
+  add_provider(2, "b", 0);
+  ServiceConsumer consumer(sim, *net, cluster->daemon(0));
+  consumer.start();
+  sim.run_until(8 * sim::kSecond);
+
+  int done = 0;
+  for (int i = 0; i < 20; ++i) {
+    const char* service = (i % 2 == 0) ? "a" : "b";
+    net::HostId expected = (i % 2 == 0) ? layout.hosts[1] : layout.hosts[2];
+    consumer.invoke(service, 0, 10, 10,
+                    [&, expected](const InvokeResult& result) {
+                      EXPECT_TRUE(result.ok);
+                      EXPECT_EQ(result.server, expected);
+                      ++done;
+                    });
+  }
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+  EXPECT_EQ(done, 20);
+}
+
+TEST_F(ConsumerEdgeFixture, StopCancelsPendingWork) {
+  build(3);
+  ProviderConfig slow;
+  slow.mean_service_time = 2 * sim::kSecond;
+  providers.push_back(std::make_unique<ServiceProvider>(
+      sim, *net, cluster->daemon(1), slow));
+  providers.back()->host_service("slow", {0});
+  providers.back()->start();
+
+  ServiceConsumer consumer(sim, *net, cluster->daemon(0));
+  consumer.start();
+  sim.run_until(8 * sim::kSecond);
+
+  int calls = 0;
+  consumer.invoke("slow", 0, 10, 10, [&](const InvokeResult&) { ++calls; });
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  consumer.stop();
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_EQ(calls, 0);  // stopped consumers never fire stale callbacks
+}
+
+TEST_F(ConsumerEdgeFixture, ProviderQueueDrainsInOrder) {
+  build(3);
+  ProviderConfig config;
+  config.concurrency = 1;
+  config.mean_service_time = 20 * sim::kMillisecond;
+  providers.push_back(std::make_unique<ServiceProvider>(
+      sim, *net, cluster->daemon(1), config));
+  providers.back()->host_service("fifo", {0});
+  providers.back()->start();
+
+  ServiceConsumer consumer(sim, *net, cluster->daemon(0));
+  consumer.start();
+  sim.run_until(8 * sim::kSecond);
+
+  int done = 0;
+  for (int i = 0; i < 10; ++i) {
+    consumer.invoke("fifo", 0, 10, 10, [&](const InvokeResult& result) {
+      EXPECT_TRUE(result.ok);
+      ++done;
+    });
+  }
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_EQ(done, 10);
+  EXPECT_EQ(providers.back()->requests_served(), 10u);
+}
+
+}  // namespace
+}  // namespace tamp::service

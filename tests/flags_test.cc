@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/flags.h"
+
+namespace tamp::util {
+namespace {
+
+// argv helper: builds a mutable char*[] from literals.
+struct Argv {
+  explicit Argv(std::initializer_list<const char*> args) {
+    storage.emplace_back("prog");
+    for (const char* arg : args) storage.emplace_back(arg);
+    for (auto& s : storage) pointers.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers.size()); }
+  char** data() { return pointers.data(); }
+  std::vector<std::string> storage;
+  std::vector<char*> pointers;
+};
+
+TEST(Flags, DefaultsSurviveEmptyArgv) {
+  FlagSet flags("test");
+  auto& n = flags.add_int("n", 42, "");
+  auto& x = flags.add_double("x", 1.5, "");
+  auto& b = flags.add_bool("b", false, "");
+  auto& s = flags.add_string("s", "hello", "");
+  Argv argv({});
+  flags.parse(argv.argc(), argv.data());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 1.5);
+  EXPECT_FALSE(b);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Flags, EqualsSyntax) {
+  FlagSet flags("test");
+  auto& n = flags.add_int("n", 0, "");
+  auto& x = flags.add_double("x", 0, "");
+  auto& s = flags.add_string("s", "", "");
+  Argv argv({"--n=7", "--x=2.25", "--s=abc"});
+  flags.parse(argv.argc(), argv.data());
+  EXPECT_EQ(n, 7);
+  EXPECT_DOUBLE_EQ(x, 2.25);
+  EXPECT_EQ(s, "abc");
+}
+
+TEST(Flags, SpaceSyntax) {
+  FlagSet flags("test");
+  auto& n = flags.add_int("n", 0, "");
+  Argv argv({"--n", "123"});
+  flags.parse(argv.argc(), argv.data());
+  EXPECT_EQ(n, 123);
+}
+
+TEST(Flags, BareBoolSetsTrue) {
+  FlagSet flags("test");
+  auto& b = flags.add_bool("verbose", false, "");
+  Argv argv({"--verbose"});
+  flags.parse(argv.argc(), argv.data());
+  EXPECT_TRUE(b);
+}
+
+TEST(Flags, BoolExplicitValues) {
+  FlagSet flags("test");
+  auto& a = flags.add_bool("a", false, "");
+  auto& b = flags.add_bool("b", true, "");
+  Argv argv({"--a=true", "--b=false"});
+  flags.parse(argv.argc(), argv.data());
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(Flags, NegativeNumbers) {
+  FlagSet flags("test");
+  auto& n = flags.add_int("n", 0, "");
+  Argv argv({"--n=-5"});
+  flags.parse(argv.argc(), argv.data());
+  EXPECT_EQ(n, -5);
+}
+
+TEST(Flags, UsageListsFlagsAndDefaults) {
+  FlagSet flags("myprog");
+  flags.add_int("nodes", 100, "cluster size");
+  std::string usage = flags.usage();
+  EXPECT_NE(usage.find("myprog"), std::string::npos);
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("100"), std::string::npos);
+  EXPECT_NE(usage.find("cluster size"), std::string::npos);
+}
+
+TEST(FlagsDeath, UnknownFlagExits) {
+  FlagSet flags("test");
+  flags.add_int("n", 0, "");
+  Argv argv({"--bogus=1"});
+  EXPECT_EXIT(flags.parse(argv.argc(), argv.data()),
+              ::testing::ExitedWithCode(2), "bad flag");
+}
+
+TEST(FlagsDeath, MalformedValueExits) {
+  FlagSet flags("test");
+  flags.add_int("n", 0, "");
+  Argv argv({"--n=abc"});
+  EXPECT_EXIT(flags.parse(argv.argc(), argv.data()),
+              ::testing::ExitedWithCode(2), "bad flag");
+}
+
+TEST(FlagsDeath, HelpExitsZero) {
+  FlagSet flags("test");
+  flags.add_int("n", 0, "size");
+  Argv argv({"--help"});
+  EXPECT_EXIT(flags.parse(argv.argc(), argv.data()),
+              ::testing::ExitedWithCode(0), "");
+}
+
+}  // namespace
+}  // namespace tamp::util

@@ -1,0 +1,246 @@
+// Robustness behaviors of the hierarchical daemon beyond the paper's happy
+// path: graceful channel departure, incarnation-scoped update streams,
+// heartbeat-advertised loss recovery, anti-entropy repair, failover without
+// view flapping, and administrator channel overrides.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "net/builders.h"
+#include "protocols/cluster.h"
+
+namespace tamp::protocols {
+namespace {
+
+struct RobustnessFixture : public ::testing::Test {
+  sim::Simulation sim{77};
+  net::Topology topo;
+  net::ClusterLayout layout;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<protocols::Cluster> cluster;
+
+  void build(int racks, int hosts_per_rack, Cluster::Options opts = {}) {
+    net::RackedClusterParams params;
+    params.racks = racks;
+    params.hosts_per_rack = hosts_per_rack;
+    layout = net::build_racked_cluster(topo, params);
+    net = std::make_unique<net::Network>(sim, topo);
+    opts.scheme = Scheme::kHierarchical;
+    cluster = std::make_unique<Cluster>(sim, *net, layout.hosts, opts);
+    cluster->start_all();
+    sim.run_until(15 * sim::kSecond);
+    ASSERT_TRUE(cluster->converged());
+  }
+
+  size_t index_of(net::HostId host) {
+    auto it = std::find(layout.hosts.begin(), layout.hosts.end(), host);
+    return static_cast<size_t>(it - layout.hosts.begin());
+  }
+
+  HierDaemon* rack_leader(int rack) {
+    for (net::HostId h : layout.racks[static_cast<size_t>(rack)]) {
+      auto* d = static_cast<HierDaemon*>(cluster->daemon_for(h));
+      if (d != nullptr && d->running() && d->is_leader(0)) return d;
+    }
+    return nullptr;
+  }
+};
+
+// Killing a level-0 leader must not produce *any* leave notification for a
+// node that is still alive (no view flapping during failover) — the
+// backup-takeover guard plus graceful goodbyes at work.
+TEST_F(RobustnessFixture, LeaderFailoverCausesNoSpuriousLeaves) {
+  build(3, 6);
+  HierDaemon* leader = rack_leader(1);
+  ASSERT_NE(leader, nullptr);
+  net::HostId victim = leader->self();
+
+  std::map<membership::NodeId, int> leaves;
+  cluster->set_change_listener(
+      [&](membership::NodeId subject, bool alive, sim::Time) {
+        if (!alive) leaves[subject]++;
+      });
+  cluster->kill(index_of(victim));
+  sim.run_until(sim.now() + 30 * sim::kSecond);
+
+  EXPECT_TRUE(cluster->converged());
+  ASSERT_EQ(leaves.size(), 1u);  // only the victim
+  EXPECT_EQ(leaves.begin()->first, victim);
+  EXPECT_EQ(leaves.begin()->second, 17);  // every survivor exactly once
+}
+
+// A node that was a leader, died, restarted, and becomes a leader again
+// starts its update streams over at sequence 0 under a higher incarnation.
+// Peers must accept the fresh stream rather than judging it by the old
+// cursor (otherwise the restarted leader's updates are silently dropped).
+TEST_F(RobustnessFixture, RestartedLeaderStreamsAreAccepted) {
+  build(2, 3);
+  // Rack 0 hosts: ids sorted; index 0 is the bully winner and leader.
+  net::HostId old_leader = layout.racks[0][0];
+  ASSERT_TRUE(static_cast<HierDaemon*>(cluster->daemon_for(old_leader))
+                  ->is_leader(0));
+
+  // Kill the leader, let the rack re-elect, then kill the other two rack-0
+  // members and restart the original: it comes back alone, leads the rack,
+  // and must get its (fresh-stream) updates accepted at level 1.
+  cluster->kill(index_of(old_leader));
+  sim.run_until(sim.now() + 15 * sim::kSecond);
+  ASSERT_TRUE(cluster->converged());
+
+  cluster->kill(index_of(layout.racks[0][1]));
+  cluster->kill(index_of(layout.racks[0][2]));
+  cluster->restart(index_of(old_leader));
+  sim.run_until(sim.now() + 30 * sim::kSecond);
+
+  EXPECT_TRUE(cluster->converged());
+  auto* revenant = static_cast<HierDaemon*>(cluster->daemon_for(old_leader));
+  EXPECT_TRUE(revenant->is_leader(0));
+  // Rack-1 nodes see the new incarnation.
+  const auto* entry =
+      cluster->daemon_for(layout.racks[1][2])->table().find(old_leader);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->data.incarnation, 2u);
+}
+
+// With anti-entropy refresh disabled, a membership change whose update
+// multicasts are all lost must still propagate: the next heartbeat
+// advertises the sender's stream position, the receiver notices the gap and
+// polls for a full image (paper Message Loss Detection, strengthened).
+TEST_F(RobustnessFixture, HeartbeatAdvertisedGapTriggersSyncRecovery) {
+  Cluster::Options opts;
+  // Slow anti-entropy so recovery inside the test window can only come
+  // from the heartbeat-advertised sync path.
+  opts.hier.refresh_interval = 120 * sim::kSecond;
+  build(3, 5, opts);
+
+  // Blackout exactly the window where the failure is detected and its
+  // LEAVE updates are relayed (3 s < the 5 s suspicion timeout, so no
+  // false deaths), then heal.
+  net::HostId victim = layout.racks[0][4];
+  cluster->kill(index_of(victim));
+  sim.run_until(sim.now() + 3500 * sim::kMillisecond);
+  net->set_extra_loss(1.0);
+  sim.run_until(sim.now() + 3 * sim::kSecond);  // detection under blackout
+  net->set_extra_loss(0.0);
+  // Within a few heartbeats the gap is noticed and synced — no 30 s
+  // refresh to fall back on.
+  sim.run_until(sim.now() + 8 * sim::kSecond);
+
+  EXPECT_TRUE(cluster->converged());
+  uint64_t syncs = 0;
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    auto* d = cluster->hier_daemon(i);
+    if (d->running()) syncs += d->stats().syncs_requested;
+  }
+  EXPECT_GT(syncs, 0u);
+}
+
+// An abdicating leader leaves its higher channels gracefully: peers on
+// those channels drop it from group bookkeeping without ever declaring the
+// (alive) node dead.
+TEST_F(RobustnessFixture, AbdicationIsNotDeath) {
+  build(3, 5);
+  // Force an abdication: kill rack-0's leader; the backup takes over; when
+  // the original lowest-id node restarts it stays a follower, but the
+  // *takeover* leader abdicates if a lower-id member later claims... the
+  // cleanest trigger is a heal-style merge: take rack 0's uplink down and
+  // back up, making its leader re-meet the level-1 group.
+  HierDaemon* leader0 = rack_leader(0);
+  ASSERT_NE(leader0, nullptr);
+
+  std::set<membership::NodeId> dead_reported;
+  cluster->set_change_listener(
+      [&](membership::NodeId subject, bool alive, sim::Time) {
+        if (!alive) dead_reported.insert(subject);
+      });
+
+  topo.set_link_up(layout.rack_uplinks[0], false);
+  sim.run_until(sim.now() + 25 * sim::kSecond);
+  // During the partition, rack-0's leader climbed to higher levels in its
+  // own island; on heal it must abdicate back under the main tree.
+  topo.set_link_up(layout.rack_uplinks[0], true);
+  sim.run_until(sim.now() + 60 * sim::kSecond);
+
+  EXPECT_TRUE(cluster->converged());
+  // The partition caused (correct) mutual removals, but after the heal no
+  // *live* node may still be considered dead anywhere.
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    EXPECT_EQ(cluster->daemon(i).view_size(), cluster->size());
+  }
+}
+
+// Administrators can pin specific channels per level (paper Sec. 3.1.1);
+// formation must work identically on the remapped channels.
+TEST_F(RobustnessFixture, AdminSpecifiedLevelChannels) {
+  Cluster::Options opts;
+  opts.hier.level_channels = {7100, 0 /*derived*/, 7302};
+  build(2, 4, opts);
+
+  EXPECT_TRUE(cluster->converged());
+  int leaders = 0;
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    auto* d = cluster->hier_daemon(i);
+    if (d->is_leader(0)) {
+      ++leaders;
+      EXPECT_TRUE(net->in_group(d->self(), 7100));
+      EXPECT_TRUE(d->joined(1));
+    }
+  }
+  EXPECT_EQ(leaders, 2);
+
+  // Failure detection still works across the remapped channels.
+  net::HostId victim = layout.racks[1][3];
+  cluster->kill(index_of(victim));
+  sim.run_until(sim.now() + 15 * sim::kSecond);
+  EXPECT_TRUE(cluster->converged());
+}
+
+// The anti-entropy refresh repairs a view that missed everything: a node
+// whose updates and syncs were all suppressed for a long stretch still
+// converges once traffic flows again.
+TEST_F(RobustnessFixture, AntiEntropyRepairsSilentDivergence) {
+  Cluster::Options opts;
+  opts.hier.refresh_interval = 10 * sim::kSecond;
+  build(2, 6, opts);
+
+  // Isolate one follower's *receive* path indirectly: full loss while a
+  // node joins elsewhere, then heal and wait one refresh interval.
+  cluster->kill(9);
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  ASSERT_TRUE(cluster->converged());
+  net->set_extra_loss(0.9);
+  cluster->restart(9);
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  net->set_extra_loss(0.0);
+  sim.run_until(sim.now() + 25 * sim::kSecond);
+  EXPECT_TRUE(cluster->converged());
+}
+
+// Deterministic replay: identical seeds give identical event counts and
+// final state; different seeds differ in timing but agree on convergence.
+TEST_F(RobustnessFixture, DeterministicReplay) {
+  auto run = [](uint64_t seed) {
+    sim::Simulation sim(seed);
+    net::Topology topo;
+    net::RackedClusterParams params;
+    params.racks = 2;
+    params.hosts_per_rack = 5;
+    auto layout = net::build_racked_cluster(topo, params);
+    net::Network net(sim, topo);
+    Cluster::Options opts;
+    opts.scheme = Scheme::kHierarchical;
+    Cluster cluster(sim, net, layout.hosts, opts);
+    cluster.start_all();
+    cluster.kill(7);
+    sim.run_until(40 * sim::kSecond);
+    return std::pair<uint64_t, uint64_t>(sim.events_executed(),
+                                         net.total_stats().rx_wire_bytes);
+  };
+  EXPECT_EQ(run(1234), run(1234));
+  EXPECT_NE(run(1234), run(1235));
+}
+
+}  // namespace
+}  // namespace tamp::protocols

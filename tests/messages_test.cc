@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "membership/codec.h"
+#include "membership/messages.h"
+
+namespace tamp::membership {
+namespace {
+
+template <typename T>
+T round_trip(const T& msg, size_t pad = 0) {
+  auto payload = encode_message(Message{msg}, pad);
+  auto decoded = decode_message(payload->data(), payload->size());
+  EXPECT_TRUE(decoded.has_value());
+  auto* typed = std::get_if<T>(&*decoded);
+  EXPECT_NE(typed, nullptr);
+  return *typed;
+}
+
+TEST(Messages, HeartbeatRoundTrip) {
+  HeartbeatMsg msg;
+  msg.entry = make_representative_entry(12, 4);
+  msg.level = 2;
+  msg.is_leader = true;
+  msg.backup = 99;
+  msg.seq = 12345;
+  auto out = round_trip(msg);
+  EXPECT_EQ(out.entry, msg.entry);
+  EXPECT_EQ(out.level, 2);
+  EXPECT_TRUE(out.is_leader);
+  EXPECT_EQ(out.backup, 99u);
+  EXPECT_EQ(out.seq, 12345u);
+}
+
+TEST(Messages, HeartbeatPadding) {
+  HeartbeatMsg msg;
+  msg.entry = make_representative_entry(1);
+  auto payload = encode_message(Message{msg}, 512);
+  EXPECT_EQ(payload->size(), 512u);
+  auto decoded = decode_message(payload->data(), payload->size());
+  ASSERT_TRUE(decoded.has_value());  // trailing zeros are ignored
+  EXPECT_TRUE(std::holds_alternative<HeartbeatMsg>(*decoded));
+}
+
+TEST(Messages, UpdateRoundTrip) {
+  UpdateMsg msg;
+  msg.origin = 3;
+  UpdateRecord join;
+  join.seq = 10;
+  join.kind = UpdateKind::kJoin;
+  join.subject = 7;
+  join.incarnation = 2;
+  join.entry = make_representative_entry(7, 2);
+  UpdateRecord leave;
+  leave.seq = 11;
+  leave.kind = UpdateKind::kLeave;
+  leave.subject = 8;
+  leave.incarnation = 1;
+  msg.records = {join, leave};
+
+  auto out = round_trip(msg);
+  ASSERT_EQ(out.records.size(), 2u);
+  EXPECT_EQ(out.origin, 3u);
+  EXPECT_EQ(out.records[0].kind, UpdateKind::kJoin);
+  ASSERT_TRUE(out.records[0].entry.has_value());
+  EXPECT_EQ(*out.records[0].entry, *join.entry);
+  EXPECT_EQ(out.records[1].kind, UpdateKind::kLeave);
+  EXPECT_FALSE(out.records[1].entry.has_value());
+  EXPECT_EQ(out.records[1].seq, 11u);
+}
+
+TEST(Messages, BootstrapRoundTrip) {
+  BootstrapRequestMsg request;
+  request.requester = 5;
+  request.known = {make_representative_entry(5), make_representative_entry(6)};
+  auto req_out = round_trip(request);
+  EXPECT_EQ(req_out.requester, 5u);
+  EXPECT_EQ(req_out.known.size(), 2u);
+
+  BootstrapResponseMsg response;
+  response.responder = 1;
+  for (NodeId n = 0; n < 20; ++n) {
+    response.entries.push_back(make_representative_entry(n));
+  }
+  auto resp_out = round_trip(response);
+  EXPECT_EQ(resp_out.entries.size(), 20u);
+  EXPECT_EQ(resp_out.entries[19], response.entries[19]);
+}
+
+TEST(Messages, SyncRoundTrip) {
+  SyncRequestMsg request{42, 2, 1000};
+  auto req_out = round_trip(request);
+  EXPECT_EQ(req_out.requester, 42u);
+  EXPECT_EQ(req_out.level, 2);
+  EXPECT_EQ(req_out.last_seq_seen, 1000u);
+
+  SyncResponseMsg response;
+  response.responder = 1;
+  response.level = 2;
+  response.stream_seq = 1010;
+  response.entries = {make_representative_entry(3)};
+  auto resp_out = round_trip(response);
+  EXPECT_EQ(resp_out.stream_seq, 1010u);
+  ASSERT_EQ(resp_out.entries.size(), 1u);
+}
+
+TEST(Messages, ElectionRoundTrips) {
+  auto election = round_trip(ElectionMsg{9, 1});
+  EXPECT_EQ(election.candidate, 9u);
+  EXPECT_EQ(election.level, 1);
+
+  auto answer = round_trip(ElectionAnswerMsg{4, 2});
+  EXPECT_EQ(answer.responder, 4u);
+
+  auto coordinator = round_trip(CoordinatorMsg{2, 0, 17});
+  EXPECT_EQ(coordinator.leader, 2u);
+  EXPECT_EQ(coordinator.backup, 17u);
+}
+
+TEST(Messages, GossipRoundTripAndSizeScalesWithView) {
+  GossipMsg small;
+  small.sender = 1;
+  small.records.push_back({make_representative_entry(1), 10});
+  auto small_payload = encode_message(Message{small});
+
+  GossipMsg big = small;
+  for (NodeId n = 2; n <= 50; ++n) {
+    big.records.push_back({make_representative_entry(n), 5});
+  }
+  auto big_payload = encode_message(Message{big});
+
+  // Gossip messages carry the whole view: size grows ~linearly with n —
+  // the reason the paper's Figure 11 shows quadratic aggregate bandwidth.
+  EXPECT_GT(big_payload->size(), 40 * small_payload->size());
+
+  auto out = round_trip(big);
+  EXPECT_EQ(out.records.size(), 50u);
+  EXPECT_EQ(out.records[49].heartbeat_counter, 5u);
+}
+
+TEST(Messages, ProxyRoundTrip) {
+  ProxyHeartbeatMsg msg;
+  msg.dc = 1;
+  msg.sender = 77;
+  msg.seq = 5;
+  msg.summary.availability["index"][0] = 3;
+  msg.summary.availability["index"][1] = 2;
+  msg.summary.availability["doc"][2] = 1;
+  auto out = round_trip(msg);
+  EXPECT_EQ(out.dc, 1);
+  EXPECT_EQ(out.summary, msg.summary);
+
+  ProxyUpdateMsg update;
+  update.dc = 2;
+  update.sender = 9;
+  update.seq = 6;
+  update.summary.availability["cache"][0] = 4;
+  auto update_out = round_trip(update);
+  EXPECT_EQ(update_out.summary, update.summary);
+}
+
+TEST(Messages, ProxySummaryMuchSmallerThanFullEntries) {
+  // "The summary does not include the detailed machine information" — check
+  // the encoded summary for 100 nodes is far smaller than 100 entries.
+  ProxyHeartbeatMsg summary_msg;
+  summary_msg.dc = 0;
+  for (int p = 0; p < 5; ++p) summary_msg.summary.availability["index"][p] = 20;
+  auto summary_payload = encode_message(Message{summary_msg});
+
+  BootstrapResponseMsg full;
+  full.responder = 0;
+  for (NodeId n = 0; n < 100; ++n) {
+    full.entries.push_back(make_representative_entry(n));
+  }
+  auto full_payload = encode_message(Message{full});
+  EXPECT_LT(summary_payload->size() * 50, full_payload->size());
+}
+
+TEST(Messages, MalformedInputsRejected) {
+  EXPECT_FALSE(decode_message(nullptr, 0).has_value());
+  uint8_t unknown_type[] = {0xee, 1, 2, 3};
+  EXPECT_FALSE(decode_message(unknown_type, sizeof(unknown_type)).has_value());
+  uint8_t bad_kind[] = {2 /*kUpdate*/, 1, 0, 0, 0 /*origin*/,
+                        0, 0, 0, 0, 0, 0, 0, 0 /*origin incarnation*/,
+                        1 /*count*/,
+                        0, 0, 0, 0, 0, 0, 0, 0 /*seq*/,
+                        99 /*bad kind*/};
+  EXPECT_FALSE(decode_message(bad_kind, sizeof(bad_kind)).has_value());
+}
+
+TEST(Messages, TruncationNeverCrashes) {
+  HeartbeatMsg msg;
+  msg.entry = make_representative_entry(1);
+  auto payload = encode_message(Message{msg});
+  for (size_t cut = 1; cut < payload->size(); ++cut) {
+    (void)decode_message(payload->data(), cut);  // must not crash
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace tamp::membership

@@ -1,0 +1,181 @@
+// Integration tests for three-datacenter deployments and relay edge cases.
+#include <gtest/gtest.h>
+
+#include "service/multidc.h"
+#include "service/provider.h"
+
+namespace tamp::service {
+namespace {
+
+MultiDcParams three_dc_params() {
+  MultiDcParams params;
+  for (int dc = 0; dc < 3; ++dc) {
+    net::RackedClusterParams cluster;
+    cluster.racks = 1;
+    cluster.hosts_per_rack = 6;
+    cluster.dc = static_cast<net::DatacenterId>(dc);
+    cluster.name_prefix = "dc" + std::to_string(dc);
+    params.dcs.push_back(cluster);
+  }
+  return params;
+}
+
+TEST(ThreeDc, SummariesMeshAcrossAllPairs) {
+  sim::Simulation sim(83);
+  MultiDcHarness harness(sim, three_dc_params());
+  // One distinct service per datacenter.
+  harness.cluster(0).daemon(1).register_service("alpha", {0});
+  harness.cluster(1).daemon(1).register_service("beta", {0});
+  harness.cluster(2).daemon(1).register_service("gamma", {0});
+  harness.start();
+  sim.run_until(20 * sim::kSecond);
+
+  // Every DC's proxy leader sees the other two DCs' services.
+  struct Expect {
+    size_t dc;
+    const char* remote_service;
+    net::DatacenterId remote_dc;
+  };
+  const Expect expectations[] = {
+      {0, "beta", 1},  {0, "gamma", 2}, {1, "alpha", 0},
+      {1, "gamma", 2}, {2, "alpha", 0}, {2, "beta", 1},
+  };
+  for (const auto& expect : expectations) {
+    auto* leader = harness.proxy_leader(expect.dc);
+    ASSERT_NE(leader, nullptr);
+    auto dcs = leader->lookup_remote(expect.remote_service, 0);
+    ASSERT_EQ(dcs.size(), 1u)
+        << "dc" << expect.dc << " looking for " << expect.remote_service;
+    EXPECT_EQ(dcs[0], expect.remote_dc);
+  }
+}
+
+TEST(ThreeDc, InvocationPicksADatacenterThatHasTheService) {
+  sim::Simulation sim(89);
+  MultiDcHarness harness(sim, three_dc_params());
+  // "shared" runs in DCs 1 and 2, not 0.
+  ServiceProvider p1(sim, harness.network(), harness.cluster(1).daemon(2));
+  p1.host_service("shared", {0});
+  p1.start();
+  ServiceProvider p2(sim, harness.network(), harness.cluster(2).daemon(2));
+  p2.host_service("shared", {0});
+  p2.start();
+  harness.start();
+  sim.run_until(20 * sim::kSecond);
+
+  ServiceConsumer consumer(sim, harness.network(),
+                           harness.cluster(0).daemon(1));
+  consumer.start();
+  int ok = 0, total = 0;
+  for (int i = 0; i < 6; ++i) {
+    consumer.invoke("shared", 0, 100, 100,
+                    [&](const InvokeResult& result) {
+                      ++total;
+                      if (result.ok) {
+                        ++ok;
+                        EXPECT_TRUE(result.via_proxy);
+                      }
+                    });
+  }
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_EQ(total, 6);
+  EXPECT_EQ(ok, 6);
+}
+
+TEST(RelayEdgeCases, StaleSummaryDoesNotPingPong) {
+  // DC 1 advertises "flaky", then its providers die. DC 0 may relay a
+  // request on the stale summary; the remote side must fail it cleanly
+  // (relay_hops = 0 forbids re-relaying), never bounce it back and forth.
+  sim::Simulation sim(97);
+  MultiDcParams params = service::default_two_dc_params();
+  MultiDcHarness harness(sim, params);
+  ServiceProvider provider(sim, harness.network(),
+                           harness.cluster(1).daemon(2));
+  provider.host_service("flaky", {0});
+  provider.start();
+  harness.start();
+  sim.run_until(15 * sim::kSecond);
+
+  // Kill the provider node abruptly; immediately invoke from DC 0 while
+  // DC 0's summary still lists it.
+  harness.cluster(1).kill(2);
+  ServiceConsumer consumer(sim, harness.network(),
+                           harness.cluster(0).daemon(1));
+  consumer.start();
+
+  bool done = false;
+  InvokeResult got;
+  consumer.invoke("flaky", 0, 50, 50, [&](const InvokeResult& result) {
+    got = result;
+    done = true;
+  });
+  sim.run_until(sim.now() + 8 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(got.ok);  // clean failure, bounded time
+}
+
+TEST(RelayEdgeCases, WanCutFailsRelayWithTimeout) {
+  sim::Simulation sim(101);
+  MultiDcParams params = service::default_two_dc_params();
+  MultiDcHarness harness(sim, params);
+  ServiceProvider provider(sim, harness.network(),
+                           harness.cluster(1).daemon(2));
+  provider.host_service("remote-only", {0});
+  provider.start();
+  harness.start();
+  sim.run_until(15 * sim::kSecond);
+
+  // Cut the WAN *after* summaries propagated, then invoke: the relay's
+  // SYN gets no ACK and the caller gets a bounded failure.
+  harness.topology().set_link_up(harness.layout().wan_links[0], false);
+  ServiceConsumer consumer(sim, harness.network(),
+                           harness.cluster(0).daemon(1));
+  consumer.start();
+
+  bool done = false;
+  sim::Time started = sim.now();
+  sim::Duration elapsed = 0;
+  consumer.invoke("remote-only", 0, 50, 50,
+                  [&](const InvokeResult& result) {
+                    EXPECT_FALSE(result.ok);
+                    elapsed = sim.now() - started;
+                    done = true;
+                  });
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_LT(elapsed, 5 * sim::kSecond);
+}
+
+TEST(RelayEdgeCases, ProxyStatsAccount) {
+  sim::Simulation sim(103);
+  MultiDcParams params = service::default_two_dc_params();
+  MultiDcHarness harness(sim, params);
+  ServiceProvider provider(sim, harness.network(),
+                           harness.cluster(1).daemon(2));
+  provider.host_service("counted", {0});
+  provider.start();
+  harness.start();
+  sim.run_until(15 * sim::kSecond);
+
+  ServiceConsumer consumer(sim, harness.network(),
+                           harness.cluster(0).daemon(1));
+  consumer.start();
+  int ok = 0;
+  for (int i = 0; i < 3; ++i) {
+    consumer.invoke("counted", 0, 10, 10,
+                    [&](const InvokeResult& result) { ok += result.ok; });
+  }
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+  EXPECT_EQ(ok, 3);
+
+  auto* east_leader = harness.proxy_leader(0);
+  auto* west_leader = harness.proxy_leader(1);
+  ASSERT_NE(east_leader, nullptr);
+  ASSERT_NE(west_leader, nullptr);
+  EXPECT_GT(east_leader->stats().wan_heartbeats_sent, 5u);
+  EXPECT_GT(east_leader->stats().wan_messages_received, 5u);
+  EXPECT_GT(west_leader->stats().relays_to_local_group, 0u);
+}
+
+}  // namespace
+}  // namespace tamp::service

@@ -1,0 +1,120 @@
+// Overlap stress: on a router chain, TTL groups at every intermediate
+// level overlap (each node's audible set is a window of the chain). The
+// formation, election-suppression, update relay, and failure paths must
+// all hold — this is the paper's "other topologies" case (Sec. 3.1.1)
+// pushed far beyond the Figure-4 example.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "net/builders.h"
+#include "protocols/cluster.h"
+
+namespace tamp::protocols {
+namespace {
+
+using Param = std::tuple<int /*segments*/, int /*hosts*/, uint64_t /*seed*/>;
+
+class OverlapChain : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto& [segments, hosts, seed] = GetParam();
+    sim_ = std::make_unique<sim::Simulation>(seed);
+    layout_ = net::build_router_chain(topo_, segments, hosts);
+    net_ = std::make_unique<net::Network>(*sim_, topo_);
+    Cluster::Options opts;
+    opts.scheme = Scheme::kHierarchical;
+    opts.hier.max_ttl = topo_.max_ttl();
+    cluster_ = std::make_unique<Cluster>(*sim_, *net_, layout_.hosts, opts);
+  }
+
+  std::unique_ptr<sim::Simulation> sim_;
+  net::Topology topo_;
+  net::ClusterLayout layout_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_P(OverlapChain, ChainDistances) {
+  const auto& [segments, hosts, seed] = GetParam();
+  (void)hosts;
+  (void)seed;
+  // ttl(i, j) = |i - j| + 2 across segments, 1 within.
+  for (int i = 0; i < segments; ++i) {
+    for (int j = 0; j < segments; ++j) {
+      int expected = i == j ? 1 : std::abs(i - j) + 2;
+      EXPECT_EQ(topo_.ttl_required(layout_.racks[static_cast<size_t>(i)][0],
+                                   layout_.racks[static_cast<size_t>(j)][0]),
+                layout_.racks[static_cast<size_t>(i)][0] ==
+                        layout_.racks[static_cast<size_t>(j)][0]
+                    ? 0
+                    : expected);
+    }
+  }
+}
+
+TEST_P(OverlapChain, ConvergesDespiteOverlappingGroups) {
+  cluster_->start_all();
+  sim_->run_until(30 * sim::kSecond);
+  EXPECT_TRUE(cluster_->converged())
+      << cluster_->converged_count() << "/" << cluster_->size();
+}
+
+TEST_P(OverlapChain, LeaderInvariantHoldsOnEveryChannel) {
+  cluster_->start_all();
+  sim_->run_until(30 * sim::kSecond);
+  ASSERT_TRUE(cluster_->converged());
+
+  // Paper: "a group leader cannot see other leaders at the same level."
+  const int max_ttl = topo_.max_ttl();
+  for (int level = 0; level < max_ttl; ++level) {
+    for (size_t i = 0; i < cluster_->size(); ++i) {
+      auto* a = cluster_->hier_daemon(i);
+      if (!a->is_leader(level)) continue;
+      for (size_t j = i + 1; j < cluster_->size(); ++j) {
+        auto* b = cluster_->hier_daemon(j);
+        if (!b->is_leader(level)) continue;
+        EXPECT_GT(topo_.ttl_required(a->self(), b->self()), level + 1)
+            << "level " << level << " leaders " << a->self() << ", "
+            << b->self() << " within earshot";
+      }
+    }
+  }
+}
+
+TEST_P(OverlapChain, EndToEndFailurePropagation) {
+  const auto& [segments, hosts, seed] = GetParam();
+  (void)seed;
+  cluster_->start_all();
+  sim_->run_until(30 * sim::kSecond);
+  ASSERT_TRUE(cluster_->converged());
+
+  // Kill a non-leader at one end; the far end must learn of it.
+  net::HostId victim = layout_.racks[0].back();
+  if (hosts == 1) return;  // every node is a leader; covered elsewhere
+  size_t victim_index = static_cast<size_t>(
+      std::find(layout_.hosts.begin(), layout_.hosts.end(), victim) -
+      layout_.hosts.begin());
+  cluster_->kill(victim_index);
+  sim_->run_until(sim_->now() + 25 * sim::kSecond);
+
+  EXPECT_TRUE(cluster_->converged());
+  net::HostId far = layout_.racks.back().back();
+  EXPECT_FALSE(cluster_->daemon_for(far)->table().contains(victim));
+}
+
+std::string chain_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [segments, hosts, seed] = info.param;
+  return "c" + std::to_string(segments) + "x" + std::to_string(hosts) +
+         "_s" + std::to_string(seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, OverlapChain,
+                         ::testing::Values(Param{2, 3, 1}, Param{3, 2, 2},
+                                           Param{4, 3, 3}, Param{5, 2, 4},
+                                           Param{6, 2, 5}),
+                         chain_name);
+
+}  // namespace
+}  // namespace tamp::protocols

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "service/multidc.h"
+#include "service/search.h"
+
+namespace tamp::proxy {
+namespace {
+
+using service::MultiDcHarness;
+using service::MultiDcParams;
+
+struct ProxyFixture : public ::testing::Test {
+  sim::Simulation sim{41};
+  std::unique_ptr<MultiDcHarness> harness;
+
+  void build(MultiDcParams params = service::default_two_dc_params()) {
+    harness = std::make_unique<MultiDcHarness>(sim, std::move(params));
+    harness->start();
+  }
+
+  void settle() { sim.run_until(sim.now() + 15 * sim::kSecond); }
+};
+
+TEST_F(ProxyFixture, OneLeaderPerDcHoldsVip) {
+  build();
+  settle();
+  for (size_t dc = 0; dc < harness->dc_count(); ++dc) {
+    int leaders = 0;
+    for (int i = 0; i < harness->proxies_per_dc(); ++i) {
+      if (harness->proxy(dc, i).is_leader()) ++leaders;
+    }
+    EXPECT_EQ(leaders, 1);
+    auto* leader = harness->proxy_leader(dc);
+    ASSERT_NE(leader, nullptr);
+    EXPECT_EQ(harness->network().virtual_ip_owner(harness->vip(dc)),
+              leader->self());
+  }
+}
+
+TEST_F(ProxyFixture, SummariesReachRemoteDatacenters) {
+  build();
+  // Register a service in DC 0 only.
+  harness->cluster(0).daemon(2).register_service("index", {0, 1});
+  settle();
+
+  auto* west_leader = harness->proxy_leader(1);
+  ASSERT_NE(west_leader, nullptr);
+  auto remote = west_leader->lookup_remote("index", 1);
+  ASSERT_EQ(remote.size(), 1u);
+  EXPECT_EQ(remote[0], 0);
+  EXPECT_TRUE(west_leader->lookup_remote("index", 9).empty());
+  EXPECT_TRUE(west_leader->lookup_remote("nope", 0).empty());
+}
+
+TEST_F(ProxyFixture, BackupProxiesLearnRemoteStateThroughRelay) {
+  build();
+  harness->cluster(0).daemon(2).register_service("cache", {0});
+  settle();
+
+  // Every proxy in DC 1 (not only the leader) must know DC 0's summary.
+  for (int i = 0; i < harness->proxies_per_dc(); ++i) {
+    auto& proxy = harness->proxy(1, i);
+    EXPECT_EQ(proxy.lookup_remote("cache", 0).size(), 1u)
+        << "proxy " << i << " leader=" << proxy.is_leader();
+  }
+}
+
+TEST_F(ProxyFixture, SummaryTracksProviderFailure) {
+  build();
+  harness->cluster(0).daemon(2).register_service("db", {0});
+  harness->cluster(0).daemon(3).register_service("db", {0});
+  settle();
+
+  auto* west_leader = harness->proxy_leader(1);
+  ASSERT_NE(west_leader, nullptr);
+  ASSERT_EQ(west_leader->lookup_remote("db", 0).size(), 1u);
+
+  // Kill both providers; after detection + a summary update the service
+  // disappears from the remote view.
+  harness->cluster(0).kill(2);
+  harness->cluster(0).kill(3);
+  sim.run_until(sim.now() + 15 * sim::kSecond);
+  EXPECT_TRUE(west_leader->lookup_remote("db", 0).empty());
+}
+
+TEST_F(ProxyFixture, VipFailsOverWhenLeaderDies) {
+  build();
+  settle();
+  auto* leader = harness->proxy_leader(0);
+  ASSERT_NE(leader, nullptr);
+  net::HostId old_leader = leader->self();
+
+  // Find and kill the leader's node within its cluster.
+  auto& cluster = harness->cluster(0);
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    if (cluster.hosts()[i] == old_leader) {
+      // Also stop the proxy daemon itself (it lives on that node).
+      for (int p = 0; p < harness->proxies_per_dc(); ++p) {
+        if (harness->proxy(0, p).self() == old_leader) {
+          harness->proxy(0, p).stop();
+        }
+      }
+      cluster.kill(i);
+      break;
+    }
+  }
+  sim.run_until(sim.now() + 20 * sim::kSecond);
+
+  auto* new_leader = harness->proxy_leader(0);
+  ASSERT_NE(new_leader, nullptr);
+  EXPECT_NE(new_leader->self(), old_leader);
+  EXPECT_EQ(harness->network().virtual_ip_owner(harness->vip(0)),
+            new_leader->self());
+  EXPECT_GT(new_leader->stats().vip_takeovers, 0u);
+}
+
+TEST_F(ProxyFixture, RemoteDirectoryExpiresWhenWanCut) {
+  build();
+  harness->cluster(0).daemon(2).register_service("index", {0});
+  settle();
+  auto* west_leader = harness->proxy_leader(1);
+  ASSERT_NE(west_leader, nullptr);
+  ASSERT_FALSE(west_leader->remote().empty());
+
+  // Cut the WAN link: heartbeats stop; the remote directory must expire.
+  harness->topology().set_link_up(harness->layout().wan_links[0], false);
+  sim.run_until(sim.now() + 30 * sim::kSecond);
+  EXPECT_TRUE(west_leader->remote().empty());
+
+  // Heal: summaries come back.
+  harness->topology().set_link_up(harness->layout().wan_links[0], true);
+  sim.run_until(sim.now() + 10 * sim::kSecond);
+  EXPECT_EQ(west_leader->lookup_remote("index", 0).size(), 1u);
+}
+
+TEST_F(ProxyFixture, CrossDcInvocationThroughRelay) {
+  build();
+  // "translate" exists only in DC 1.
+  service::ServiceProvider provider(sim, harness->network(),
+                                    harness->cluster(1).daemon(3));
+  provider.host_service("translate", {0});
+  provider.start();
+  settle();
+
+  // A consumer in DC 0 invokes it; there is no local provider, so the call
+  // must go through the proxy pair (Fig. 6).
+  service::ServiceConsumer consumer(sim, harness->network(),
+                                    harness->cluster(0).daemon(1));
+  consumer.start();
+
+  service::InvokeResult got;
+  bool done = false;
+  consumer.invoke("translate", 0, 200, 800,
+                  [&](const service::InvokeResult& result) {
+                    got = result;
+                    done = true;
+                  });
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(got.ok);
+  EXPECT_TRUE(got.via_proxy);
+  // SYN + ACK + request + response: at least 4 WAN traversals at 45 ms.
+  EXPECT_GE(got.latency, 180 * sim::kMillisecond);
+  EXPECT_LT(got.latency, 400 * sim::kMillisecond);
+}
+
+TEST_F(ProxyFixture, CrossDcInvocationFailsWhenNowhereHosted) {
+  build();
+  settle();
+  service::ServiceConsumer consumer(sim, harness->network(),
+                                    harness->cluster(0).daemon(1));
+  consumer.start();
+
+  bool done = false;
+  service::InvokeResult got;
+  consumer.invoke("ghost", 0, 10, 10,
+                  [&](const service::InvokeResult& result) {
+                    got = result;
+                    done = true;
+                  });
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(got.ok);
+}
+
+}  // namespace
+}  // namespace tamp::proxy

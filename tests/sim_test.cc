@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+#include "sim/timer.h"
+
+namespace tamp::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) q.push(100, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, Cancel) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.push(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is a no-op
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelInvalidId) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(9999));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 2);
+}
+
+TEST(Simulation, NowAdvancesWithEvents) {
+  Simulation sim;
+  Time seen = -1;
+  sim.schedule_at(5 * kSecond, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 5 * kSecond);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(i * kSecond, [&] { ++count; });
+  }
+  sim.run_until(5 * kSecond);  // inclusive
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulation, EventsCanSchedule) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule_after(kSecond, chain);
+  };
+  sim.schedule_after(kSecond, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+}
+
+TEST(Simulation, NegativeDelayClamps) {
+  Simulation sim;
+  bool ran = false;
+  sim.schedule_after(-100, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(Simulation, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<uint64_t> draws;
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_after(i * kMillisecond,
+                         [&] { draws.push_back(sim.rng().next_u64()); });
+    }
+    sim.run();
+    return draws;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(PeriodicTimer, FiresAtPeriod) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, kSecond, [&] { ++fires; });
+  timer.start();
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(fires, 10);
+}
+
+TEST(PeriodicTimer, StopPreventsFurtherFires) {
+  Simulation sim;
+  int fires = 0;
+  PeriodicTimer timer(sim, kSecond, [&] { ++fires; });
+  timer.start();
+  sim.schedule_at(3 * kSecond + 1, [&] { timer.stop(); });
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimer, RandomPhaseWithinPeriod) {
+  Simulation sim(5);
+  Time first = -1;
+  PeriodicTimer timer(sim, kSecond, [&] {
+    if (first < 0) first = sim.now();
+  });
+  timer.start_with_random_phase();
+  sim.run_until(2 * kSecond);
+  EXPECT_GE(first, 0);
+  EXPECT_LT(first, kSecond);
+}
+
+TEST(OneShotTimer, RestartReplacesDeadline) {
+  Simulation sim;
+  int fires = 0;
+  OneShotTimer timer(sim, [&] { ++fires; });
+  timer.restart(2 * kSecond);
+  sim.schedule_at(kSecond, [&] { timer.restart(5 * kSecond); });
+  sim.run_until(4 * kSecond);
+  EXPECT_EQ(fires, 0);  // original deadline was superseded
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(OneShotTimer, CancelStops) {
+  Simulation sim;
+  int fires = 0;
+  OneShotTimer timer(sim, [&] { ++fires; });
+  timer.restart(kSecond);
+  EXPECT_TRUE(timer.armed());
+  timer.cancel();
+  EXPECT_FALSE(timer.armed());
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(OneShotTimer, DestructorCancels) {
+  Simulation sim;
+  int fires = 0;
+  {
+    OneShotTimer timer(sim, [&] { ++fires; });
+    timer.restart(kSecond);
+  }
+  sim.run();
+  EXPECT_EQ(fires, 0);
+}
+
+}  // namespace
+}  // namespace tamp::sim

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace tamp::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform_u64(10), 10u);
+    int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_u64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.25);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.poisson(4.0));
+  EXPECT_NEAR(sum / trials, 4.0, 0.15);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(OnlineStats, Basics) {
+  OnlineStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.variance(), 1.25, 1e-12);
+}
+
+TEST(OnlineStats, MergeMatchesBulk) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    double x = std::sin(i * 0.7) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Percentiles, Quantiles) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(i);
+  EXPECT_NEAR(p.median(), 50.5, 1e-9);
+  EXPECT_NEAR(p.percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(p.percentile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(p.p95(), 95.05, 0.01);
+  EXPECT_NEAR(p.mean(), 50.5, 1e-9);
+}
+
+TEST(Percentiles, Empty) {
+  Percentiles p;
+  EXPECT_EQ(p.median(), 0.0);
+  EXPECT_EQ(p.mean(), 0.0);
+}
+
+TEST(WindowedRate, SlidingWindow) {
+  WindowedRate rate(1'000'000'000);  // 1 s window
+  rate.add(0, 100);
+  rate.add(500'000'000, 100);
+  EXPECT_NEAR(rate.rate_per_sec(500'000'000), 200, 1e-9);
+  // At t=1.2s the first sample (t=0) falls out.
+  EXPECT_NEAR(rate.rate_per_sec(1'200'000'000), 100, 1e-9);
+  EXPECT_NEAR(rate.total(), 200, 1e-9);
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hi \t"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" -7 "), -7);
+  EXPECT_FALSE(parse_int("4x").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_FALSE(parse_double("nope").has_value());
+}
+
+TEST(Strings, PartitionSpecSingle) {
+  auto spec = expand_partition_spec("3");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(*spec, (std::vector<int>{3}));
+}
+
+TEST(Strings, PartitionSpecRange) {
+  auto spec = expand_partition_spec("1-3");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(*spec, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Strings, PartitionSpecMixed) {
+  auto spec = expand_partition_spec("0,2,5-7");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(*spec, (std::vector<int>{0, 2, 5, 6, 7}));
+}
+
+TEST(Strings, PartitionSpecWildcard) {
+  EXPECT_FALSE(expand_partition_spec("*").has_value());
+  EXPECT_FALSE(expand_partition_spec("").has_value());
+}
+
+TEST(Strings, PartitionSpecMalformed) {
+  auto spec = expand_partition_spec("5-2");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(spec->empty());
+}
+
+TEST(Strings, HumanBytes) {
+  EXPECT_EQ(human_bytes(512), "512.00 B");
+  EXPECT_EQ(human_bytes(1536), "1.50 KB");
+}
+
+}  // namespace
+}  // namespace tamp::util
+
+namespace tamp::util {
+namespace {
+
+TEST(TimeSeries, CsvRendering) {
+  TimeSeries series("qps");
+  series.add(0.0, 10.0);
+  series.add(1.0, 12.5);
+  std::string csv = series.to_csv();
+  EXPECT_NE(csv.find("t,qps"), std::string::npos);
+  EXPECT_NE(csv.find("1,12.5"), std::string::npos);
+  EXPECT_EQ(series.size(), 2u);
+}
+
+TEST(Logging, SinkCapturesAboveThreshold) {
+  auto& logger = Logger::instance();
+  std::vector<std::string> lines;
+  logger.set_level(LogLevel::kInfo);
+  logger.set_sink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  TAMP_LOG(Debug) << "hidden";
+  TAMP_LOG(Info) << "visible " << 42;
+  TAMP_LOG(Error) << "loud";
+  logger.clear_sink();
+  logger.set_level(LogLevel::kWarn);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "visible 42");
+  EXPECT_EQ(lines[1], "loud");
+}
+
+TEST(Logging, TimeSourcePrefixes) {
+  auto& logger = Logger::instance();
+  std::vector<std::string> lines;
+  logger.set_level(LogLevel::kInfo);
+  logger.set_time_source([] { return std::string("1.5s"); });
+  logger.set_sink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  TAMP_LOG(Info) << "tick";
+  logger.clear_sink();
+  logger.clear_time_source();
+  logger.set_level(LogLevel::kWarn);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[1.5s] tick");
+}
+
+TEST(LogLevelNames, AllNamed) {
+  EXPECT_STREQ(log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(log_level_name(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace tamp::util

@@ -1,0 +1,142 @@
+// Decoder fuzzing: the daemons feed every received datagram through
+// decode_message / decode_service_message; arbitrary bytes must never
+// crash, hang, or over-read — only yield nullopt or a well-formed message.
+#include <gtest/gtest.h>
+
+#include "membership/codec.h"
+#include "membership/messages.h"
+#include "service/messages.h"
+#include "util/rng.h"
+
+namespace tamp {
+namespace {
+
+std::vector<uint8_t> random_bytes(util::Rng& rng, size_t max_size) {
+  std::vector<uint8_t> bytes(rng.uniform_u64(max_size) + 1);
+  for (auto& b : bytes) b = static_cast<uint8_t>(rng.next_u64());
+  return bytes;
+}
+
+TEST(WireFuzz, RandomBytesNeverCrashMembershipDecoder) {
+  util::Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    auto bytes = random_bytes(rng, 512);
+    (void)membership::decode_message(bytes.data(), bytes.size());
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzz, RandomBytesNeverCrashServiceDecoder) {
+  util::Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    auto bytes = random_bytes(rng, 512);
+    (void)service::decode_service_message(bytes.data(), bytes.size());
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzz, MutatedValidMessagesNeverCrash) {
+  util::Rng rng(3);
+  membership::HeartbeatMsg heartbeat;
+  heartbeat.entry = membership::make_representative_entry(5);
+  auto payload = membership::encode_message(membership::Message{heartbeat});
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> mutated(*payload);
+    int flips = 1 + static_cast<int>(rng.uniform_u64(8));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.uniform_u64(mutated.size());
+      mutated[pos] ^= static_cast<uint8_t>(1u << rng.uniform_u64(8));
+    }
+    (void)membership::decode_message(mutated.data(), mutated.size());
+  }
+  SUCCEED();
+}
+
+// Random structured entries round-trip exactly (property over the codec).
+TEST(WireFuzz, RandomEntriesRoundTrip) {
+  util::Rng rng(4);
+  auto random_string = [&](size_t max_len) {
+    std::string s(rng.uniform_u64(max_len), 'x');
+    for (auto& c : s) c = static_cast<char>('a' + rng.uniform_u64(26));
+    return s;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    membership::EntryData entry;
+    entry.node = static_cast<membership::NodeId>(rng.uniform_u64(1 << 20));
+    entry.incarnation = rng.next_u64();
+    entry.machine.cpus = static_cast<uint16_t>(rng.uniform_u64(256));
+    entry.machine.memory_mb = static_cast<uint32_t>(rng.next_u64());
+    entry.machine.os = random_string(24);
+    size_t services = rng.uniform_u64(4);
+    for (size_t s = 0; s < services; ++s) {
+      membership::ServiceRegistration service;
+      service.name = random_string(16);
+      size_t partitions = rng.uniform_u64(6);
+      for (size_t p = 0; p < partitions; ++p) {
+        service.partitions.push_back(
+            static_cast<int>(rng.uniform_u64(1 << 16)));
+      }
+      size_t params = rng.uniform_u64(3);
+      for (size_t p = 0; p < params; ++p) {
+        service.params[random_string(8)] = random_string(12);
+      }
+      entry.services.push_back(std::move(service));
+    }
+    size_t values = rng.uniform_u64(5);
+    for (size_t v = 0; v < values; ++v) {
+      entry.values[random_string(10)] = random_string(32);
+    }
+
+    membership::WireWriter writer;
+    membership::encode_entry(writer, entry);
+    auto buffer = writer.take();
+    membership::WireReader reader(buffer);
+    auto decoded = membership::decode_entry(reader);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, entry);
+    EXPECT_EQ(reader.remaining(), 0u);
+  }
+}
+
+// Random update messages (records of both kinds) round-trip through the
+// full envelope.
+TEST(WireFuzz, RandomUpdateMessagesRoundTrip) {
+  util::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    membership::UpdateMsg msg;
+    msg.origin = static_cast<membership::NodeId>(rng.uniform_u64(10000));
+    msg.origin_incarnation = rng.next_u64();
+    size_t records = 1 + rng.uniform_u64(6);
+    for (size_t r = 0; r < records; ++r) {
+      membership::UpdateRecord record;
+      record.seq = rng.next_u64();
+      record.subject =
+          static_cast<membership::NodeId>(rng.uniform_u64(10000));
+      record.incarnation = rng.next_u64();
+      if (rng.bernoulli(0.5)) {
+        record.kind = membership::UpdateKind::kJoin;
+        record.entry =
+            membership::make_representative_entry(record.subject, 1);
+      } else {
+        record.kind = membership::UpdateKind::kLeave;
+      }
+      msg.records.push_back(std::move(record));
+    }
+    auto payload = membership::encode_message(membership::Message{msg});
+    auto decoded = membership::decode_message(payload->data(), payload->size());
+    ASSERT_TRUE(decoded.has_value());
+    auto* out = std::get_if<membership::UpdateMsg>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->origin, msg.origin);
+    EXPECT_EQ(out->origin_incarnation, msg.origin_incarnation);
+    ASSERT_EQ(out->records.size(), msg.records.size());
+    for (size_t r = 0; r < records; ++r) {
+      EXPECT_EQ(out->records[r].seq, msg.records[r].seq);
+      EXPECT_EQ(out->records[r].kind, msg.records[r].kind);
+      EXPECT_EQ(out->records[r].entry, msg.records[r].entry);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tamp
