@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_accuracy.dir/ablation_accuracy.cc.o"
+  "CMakeFiles/ablation_accuracy.dir/ablation_accuracy.cc.o.d"
+  "ablation_accuracy"
+  "ablation_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_leader_failover.cc" "bench/CMakeFiles/ablation_leader_failover.dir/ablation_leader_failover.cc.o" "gcc" "bench/CMakeFiles/ablation_leader_failover.dir/ablation_leader_failover.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/tamp_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/tamp_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/tamp_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tamp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/tamp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/tamp_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tamp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tamp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tamp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_leader_failover.dir/ablation_leader_failover.cc.o"
+  "CMakeFiles/ablation_leader_failover.dir/ablation_leader_failover.cc.o.d"
+  "ablation_leader_failover"
+  "ablation_leader_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_leader_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_loss_recovery.dir/ablation_loss_recovery.cc.o"
+  "CMakeFiles/ablation_loss_recovery.dir/ablation_loss_recovery.cc.o.d"
+  "ablation_loss_recovery"
+  "ablation_loss_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_loss_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tree_depth.dir/ablation_tree_depth.cc.o"
+  "CMakeFiles/ablation_tree_depth.dir/ablation_tree_depth.cc.o.d"
+  "ablation_tree_depth"
+  "ablation_tree_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tree_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_proxy_failover.dir/fig14_proxy_failover.cc.o"
+  "CMakeFiles/fig14_proxy_failover.dir/fig14_proxy_failover.cc.o.d"
+  "fig14_proxy_failover"
+  "fig14_proxy_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_proxy_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scale_limits.dir/scale_limits.cc.o"
+  "CMakeFiles/scale_limits.dir/scale_limits.cc.o.d"
+  "scale_limits"
+  "scale_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scale_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

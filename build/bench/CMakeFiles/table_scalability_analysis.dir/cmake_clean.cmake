@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_scalability_analysis.dir/table_scalability_analysis.cc.o"
+  "CMakeFiles/table_scalability_analysis.dir/table_scalability_analysis.cc.o.d"
+  "table_scalability_analysis"
+  "table_scalability_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_scalability_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_analysis.dir/models.cc.o"
+  "CMakeFiles/tamp_analysis.dir/models.cc.o.d"
+  "libtamp_analysis.a"
+  "libtamp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_api.dir/config.cc.o"
+  "CMakeFiles/tamp_api.dir/config.cc.o.d"
+  "CMakeFiles/tamp_api.dir/directory_store.cc.o"
+  "CMakeFiles/tamp_api.dir/directory_store.cc.o.d"
+  "CMakeFiles/tamp_api.dir/mclient.cc.o"
+  "CMakeFiles/tamp_api.dir/mclient.cc.o.d"
+  "CMakeFiles/tamp_api.dir/mservice.cc.o"
+  "CMakeFiles/tamp_api.dir/mservice.cc.o.d"
+  "libtamp_api.a"
+  "libtamp_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_membership.dir/codec.cc.o"
+  "CMakeFiles/tamp_membership.dir/codec.cc.o.d"
+  "CMakeFiles/tamp_membership.dir/messages.cc.o"
+  "CMakeFiles/tamp_membership.dir/messages.cc.o.d"
+  "CMakeFiles/tamp_membership.dir/table.cc.o"
+  "CMakeFiles/tamp_membership.dir/table.cc.o.d"
+  "CMakeFiles/tamp_membership.dir/wire.cc.o"
+  "CMakeFiles/tamp_membership.dir/wire.cc.o.d"
+  "libtamp_membership.a"
+  "libtamp_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/builders.cc" "src/net/CMakeFiles/tamp_net.dir/builders.cc.o" "gcc" "src/net/CMakeFiles/tamp_net.dir/builders.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/tamp_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/tamp_net.dir/topology.cc.o.d"
+  "/root/repo/src/net/transport.cc" "src/net/CMakeFiles/tamp_net.dir/transport.cc.o" "gcc" "src/net/CMakeFiles/tamp_net.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tamp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tamp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_net.dir/builders.cc.o"
+  "CMakeFiles/tamp_net.dir/builders.cc.o.d"
+  "CMakeFiles/tamp_net.dir/topology.cc.o"
+  "CMakeFiles/tamp_net.dir/topology.cc.o.d"
+  "CMakeFiles/tamp_net.dir/transport.cc.o"
+  "CMakeFiles/tamp_net.dir/transport.cc.o.d"
+  "libtamp_net.a"
+  "libtamp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/alltoall.cc" "src/protocols/CMakeFiles/tamp_protocols.dir/alltoall.cc.o" "gcc" "src/protocols/CMakeFiles/tamp_protocols.dir/alltoall.cc.o.d"
+  "/root/repo/src/protocols/cluster.cc" "src/protocols/CMakeFiles/tamp_protocols.dir/cluster.cc.o" "gcc" "src/protocols/CMakeFiles/tamp_protocols.dir/cluster.cc.o.d"
+  "/root/repo/src/protocols/daemon.cc" "src/protocols/CMakeFiles/tamp_protocols.dir/daemon.cc.o" "gcc" "src/protocols/CMakeFiles/tamp_protocols.dir/daemon.cc.o.d"
+  "/root/repo/src/protocols/gossip.cc" "src/protocols/CMakeFiles/tamp_protocols.dir/gossip.cc.o" "gcc" "src/protocols/CMakeFiles/tamp_protocols.dir/gossip.cc.o.d"
+  "/root/repo/src/protocols/hier.cc" "src/protocols/CMakeFiles/tamp_protocols.dir/hier.cc.o" "gcc" "src/protocols/CMakeFiles/tamp_protocols.dir/hier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/membership/CMakeFiles/tamp_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tamp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tamp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tamp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

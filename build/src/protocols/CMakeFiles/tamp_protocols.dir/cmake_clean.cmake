@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_protocols.dir/alltoall.cc.o"
+  "CMakeFiles/tamp_protocols.dir/alltoall.cc.o.d"
+  "CMakeFiles/tamp_protocols.dir/cluster.cc.o"
+  "CMakeFiles/tamp_protocols.dir/cluster.cc.o.d"
+  "CMakeFiles/tamp_protocols.dir/daemon.cc.o"
+  "CMakeFiles/tamp_protocols.dir/daemon.cc.o.d"
+  "CMakeFiles/tamp_protocols.dir/gossip.cc.o"
+  "CMakeFiles/tamp_protocols.dir/gossip.cc.o.d"
+  "CMakeFiles/tamp_protocols.dir/hier.cc.o"
+  "CMakeFiles/tamp_protocols.dir/hier.cc.o.d"
+  "libtamp_protocols.a"
+  "libtamp_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_proxy.dir/proxy.cc.o"
+  "CMakeFiles/tamp_proxy.dir/proxy.cc.o.d"
+  "libtamp_proxy.a"
+  "libtamp_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

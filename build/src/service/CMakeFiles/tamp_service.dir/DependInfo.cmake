@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/consumer.cc" "src/service/CMakeFiles/tamp_service.dir/consumer.cc.o" "gcc" "src/service/CMakeFiles/tamp_service.dir/consumer.cc.o.d"
+  "/root/repo/src/service/messages.cc" "src/service/CMakeFiles/tamp_service.dir/messages.cc.o" "gcc" "src/service/CMakeFiles/tamp_service.dir/messages.cc.o.d"
+  "/root/repo/src/service/multidc.cc" "src/service/CMakeFiles/tamp_service.dir/multidc.cc.o" "gcc" "src/service/CMakeFiles/tamp_service.dir/multidc.cc.o.d"
+  "/root/repo/src/service/provider.cc" "src/service/CMakeFiles/tamp_service.dir/provider.cc.o" "gcc" "src/service/CMakeFiles/tamp_service.dir/provider.cc.o.d"
+  "/root/repo/src/service/relay.cc" "src/service/CMakeFiles/tamp_service.dir/relay.cc.o" "gcc" "src/service/CMakeFiles/tamp_service.dir/relay.cc.o.d"
+  "/root/repo/src/service/search.cc" "src/service/CMakeFiles/tamp_service.dir/search.cc.o" "gcc" "src/service/CMakeFiles/tamp_service.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proxy/CMakeFiles/tamp_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/tamp_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/tamp_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tamp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tamp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tamp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

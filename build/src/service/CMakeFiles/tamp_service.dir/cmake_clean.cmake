@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_service.dir/consumer.cc.o"
+  "CMakeFiles/tamp_service.dir/consumer.cc.o.d"
+  "CMakeFiles/tamp_service.dir/messages.cc.o"
+  "CMakeFiles/tamp_service.dir/messages.cc.o.d"
+  "CMakeFiles/tamp_service.dir/multidc.cc.o"
+  "CMakeFiles/tamp_service.dir/multidc.cc.o.d"
+  "CMakeFiles/tamp_service.dir/provider.cc.o"
+  "CMakeFiles/tamp_service.dir/provider.cc.o.d"
+  "CMakeFiles/tamp_service.dir/relay.cc.o"
+  "CMakeFiles/tamp_service.dir/relay.cc.o.d"
+  "CMakeFiles/tamp_service.dir/search.cc.o"
+  "CMakeFiles/tamp_service.dir/search.cc.o.d"
+  "libtamp_service.a"
+  "libtamp_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_sim.dir/event_queue.cc.o"
+  "CMakeFiles/tamp_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/tamp_sim.dir/simulation.cc.o"
+  "CMakeFiles/tamp_sim.dir/simulation.cc.o.d"
+  "libtamp_sim.a"
+  "libtamp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_util.dir/flags.cc.o"
+  "CMakeFiles/tamp_util.dir/flags.cc.o.d"
+  "CMakeFiles/tamp_util.dir/logging.cc.o"
+  "CMakeFiles/tamp_util.dir/logging.cc.o.d"
+  "CMakeFiles/tamp_util.dir/rng.cc.o"
+  "CMakeFiles/tamp_util.dir/rng.cc.o.d"
+  "CMakeFiles/tamp_util.dir/stats.cc.o"
+  "CMakeFiles/tamp_util.dir/stats.cc.o.d"
+  "CMakeFiles/tamp_util.dir/strings.cc.o"
+  "CMakeFiles/tamp_util.dir/strings.cc.o.d"
+  "libtamp_util.a"
+  "libtamp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_soak_test.dir/churn_soak_test.cc.o"
+  "CMakeFiles/churn_soak_test.dir/churn_soak_test.cc.o.d"
+  "churn_soak_test"
+  "churn_soak_test.pdb"
+  "churn_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

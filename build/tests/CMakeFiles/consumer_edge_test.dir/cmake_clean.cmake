@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consumer_edge_test.dir/consumer_edge_test.cc.o"
+  "CMakeFiles/consumer_edge_test.dir/consumer_edge_test.cc.o.d"
+  "consumer_edge_test"
+  "consumer_edge_test.pdb"
+  "consumer_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consumer_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detection_bounds_test.dir/detection_bounds_test.cc.o"
+  "CMakeFiles/detection_bounds_test.dir/detection_bounds_test.cc.o.d"
+  "detection_bounds_test"
+  "detection_bounds_test.pdb"
+  "detection_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detection_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_robustness_test.dir/hier_robustness_test.cc.o"
+  "CMakeFiles/hier_robustness_test.dir/hier_robustness_test.cc.o.d"
+  "hier_robustness_test"
+  "hier_robustness_test.pdb"
+  "hier_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_table_test.dir/membership_table_test.cc.o"
+  "CMakeFiles/membership_table_test.dir/membership_table_test.cc.o.d"
+  "membership_table_test"
+  "membership_table_test.pdb"
+  "membership_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidc_test.dir/multidc_test.cc.o"
+  "CMakeFiles/multidc_test.dir/multidc_test.cc.o.d"
+  "multidc_test"
+  "multidc_test.pdb"
+  "multidc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

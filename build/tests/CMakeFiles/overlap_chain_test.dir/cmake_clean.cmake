@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_chain_test.dir/overlap_chain_test.cc.o"
+  "CMakeFiles/overlap_chain_test.dir/overlap_chain_test.cc.o.d"
+  "overlap_chain_test"
+  "overlap_chain_test.pdb"
+  "overlap_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/net_transport_test[1]_include.cmake")
+include("/root/repo/build/tests/membership_table_test[1]_include.cmake")
+include("/root/repo/build/tests/messages_test[1]_include.cmake")
+include("/root/repo/build/tests/alltoall_test[1]_include.cmake")
+include("/root/repo/build/tests/gossip_test[1]_include.cmake")
+include("/root/repo/build/tests/hier_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_property_test[1]_include.cmake")
+include("/root/repo/build/tests/service_test[1]_include.cmake")
+include("/root/repo/build/tests/proxy_test[1]_include.cmake")
+include("/root/repo/build/tests/api_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/search_test[1]_include.cmake")
+include("/root/repo/build/tests/hier_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/multidc_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/consumer_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/churn_soak_test[1]_include.cmake")
+include("/root/repo/build/tests/detection_bounds_test[1]_include.cmake")
+include("/root/repo/build/tests/overlap_chain_test[1]_include.cmake")
