@@ -1,0 +1,114 @@
+// Long-horizon chaos driver, and the reproduction vehicle for red chaos
+// matrix entries: a failing test prints a chaos_soak command line whose
+// four coordinates (scheme, shape, plan, seed) replay the exact scenario.
+//
+//   bench/chaos_soak --scheme=hierarchical --shape=racked --plan=leader-kill --seed=3
+//   bench/chaos_soak --plan=all --runs=20        # soak: 20 seeds x 7 plans
+#include <cstdio>
+#include <vector>
+
+#include "sim/scenario.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+int main(int argc, char** argv) {
+  using namespace tamp;
+
+  util::FlagSet flags("chaos_soak");
+  auto& scheme_flag =
+      flags.add_string("scheme", "hierarchical",
+                       "all-to-all | gossip | hierarchical | all");
+  auto& shape_flag = flags.add_string(
+      "shape", "racked", "single-segment | racked | router-chain | all");
+  auto& plan_flag = flags.add_string(
+      "plan", "all", "fault plan name (see src/sim/fault_plan.h) or 'all'");
+  auto& seed_flag = flags.add_int("seed", 1, "first seed");
+  auto& runs_flag = flags.add_int("runs", 1, "consecutive seeds to sweep");
+  auto& nodes_flag = flags.add_int("nodes", 12, "cluster size");
+  auto& verbose_flag =
+      flags.add_bool("verbose", false, "log each fault as it fires");
+  flags.parse(argc, argv);
+
+  if (verbose_flag) {
+    util::Logger::instance().set_level(util::LogLevel::kDebug);
+  }
+
+  std::vector<protocols::Scheme> schemes;
+  if (scheme_flag == "all") {
+    schemes = {protocols::Scheme::kAllToAll, protocols::Scheme::kGossip,
+               protocols::Scheme::kHierarchical};
+  } else {
+    protocols::Scheme scheme;
+    if (!chaos::parse_scheme(scheme_flag, &scheme)) {
+      std::fprintf(stderr, "unknown --scheme=%s\n", scheme_flag.c_str());
+      return 2;
+    }
+    schemes = {scheme};
+  }
+
+  std::vector<chaos::ShapeKind> shapes;
+  if (shape_flag == "all") {
+    shapes.assign(std::begin(chaos::kAllShapeKinds),
+                  std::end(chaos::kAllShapeKinds));
+  } else {
+    chaos::ShapeKind shape;
+    if (!chaos::parse_shape(shape_flag, &shape)) {
+      std::fprintf(stderr, "unknown --shape=%s\n", shape_flag.c_str());
+      return 2;
+    }
+    shapes = {shape};
+  }
+
+  std::vector<chaos::PlanKind> plans;
+  if (plan_flag == "all") {
+    plans.assign(std::begin(chaos::kAllPlanKinds),
+                 std::end(chaos::kAllPlanKinds));
+  } else {
+    chaos::PlanKind plan;
+    if (!chaos::parse_plan(plan_flag, &plan)) {
+      std::fprintf(stderr, "unknown --plan=%s\n", plan_flag.c_str());
+      return 2;
+    }
+    plans = {plan};
+  }
+
+  int ran = 0;
+  int skipped = 0;
+  int failed = 0;
+  for (int run = 0; run < runs_flag; ++run) {
+    for (protocols::Scheme scheme : schemes) {
+      for (chaos::ShapeKind shape : shapes) {
+        for (chaos::PlanKind plan : plans) {
+          chaos::ScenarioSpec spec;
+          spec.scheme = scheme;
+          spec.shape = shape;
+          spec.plan = plan;
+          spec.seed = static_cast<uint64_t>(seed_flag + run);
+          spec.nodes = static_cast<size_t>(nodes_flag);
+          if (!chaos::plan_applicable(scheme, plan)) {
+            ++skipped;
+            continue;
+          }
+          chaos::ScenarioResult result = chaos::run_scenario(spec);
+          ++ran;
+          std::printf("%-4s %-55s horizon=%6.1fs events=%-8llu checks=%-4llu"
+                      " converged=%zu/%zu\n",
+                      result.passed ? "ok" : "FAIL", result.name.c_str(),
+                      sim::to_seconds(result.horizon),
+                      static_cast<unsigned long long>(result.events),
+                      static_cast<unsigned long long>(result.oracle_checks),
+                      result.final_converged, result.final_running);
+          if (!result.passed) {
+            ++failed;
+            std::printf("%s\nreproduce with: %s\n", result.report.c_str(),
+                        result.repro.c_str());
+          }
+        }
+      }
+    }
+  }
+  std::printf("chaos_soak: %d scenario(s), %d failed, %d skipped"
+              " (inapplicable)\n",
+              ran, failed, skipped);
+  return failed > 0 ? 1 : 0;
+}

@@ -55,6 +55,19 @@ void Topology::set_link_up(LinkId link, bool up) {
   }
 }
 
+LinkId Topology::uplink_of(HostId host) const {
+  TAMP_CHECK(is_host(host));
+  // The physical cable, up or not (an unplugged host still has one) — the
+  // compiled host_uplink_ only tracks *live* links.
+  TAMP_CHECK_MSG(adjacency_[host].size() == 1, "hosts must be single-homed");
+  return adjacency_[host][0];
+}
+
+std::vector<LinkId> Topology::links_of(DeviceId device) const {
+  TAMP_CHECK(device < devices_.size());
+  return adjacency_[device];
+}
+
 const Device& Topology::device(DeviceId id) const {
   TAMP_CHECK(id < devices_.size());
   return devices_[id];

@@ -90,6 +90,15 @@ class Topology {
   // MAX_TTL setting for the hierarchical protocol on this topology.
   int max_ttl() const;
 
+  // The (single) access link attaching `host` to the infrastructure — the
+  // hook fault plans use to unplug one machine's NIC cable. The host must
+  // have exactly one uplink (the single-homed constraint above).
+  LinkId uplink_of(HostId host) const;
+
+  // All links incident to a device (e.g. a rack switch, to model the whole
+  // switch losing power). Order matches the order connect() was called.
+  std::vector<LinkId> links_of(DeviceId device) const;
+
  private:
   struct InfraPath {
     bool reachable = false;

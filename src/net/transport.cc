@@ -57,14 +57,48 @@ size_t Network::wire_bytes_for(size_t payload_size) const {
                             config_.per_fragment_overhead;
 }
 
-bool Network::survives(const PathInfo& path, size_t fragments) {
+bool Network::survives(const PathInfo& path, size_t fragments,
+                       double injected_loss) {
   for (size_t i = 0; i < fragments; ++i) {
     if (!sim_.rng().bernoulli(path.survival)) return false;
     if (config_.extra_loss > 0.0 && sim_.rng().bernoulli(config_.extra_loss)) {
       return false;
     }
+    if (injected_loss > 0.0 && sim_.rng().bernoulli(injected_loss)) {
+      return false;
+    }
   }
   return true;
+}
+
+void Network::dispatch(Packet packet, const PathInfo& path, size_t fragments) {
+  FaultInjector::Verdict verdict;
+  if (injector_ != nullptr) {
+    verdict = injector_->verdict(packet.from.host, packet.to.host);
+  }
+  if (verdict.cut || !survives(path, fragments, verdict.extra_loss)) {
+    hosts_[packet.to.host].stats.dropped_messages += 1;
+    total_.dropped_messages += 1;
+    return;
+  }
+
+  sim::Duration base_delay = config_.min_delivery_delay + path.latency;
+  if (path.min_bandwidth_bps > 0) {
+    base_delay += static_cast<sim::Duration>(
+        static_cast<double>(packet.wire_bytes) * 8.0 /
+        path.min_bandwidth_bps * 1e9);
+  }
+  base_delay += verdict.extra_delay;
+
+  const int copies = 1 + std::max(0, verdict.duplicates);
+  for (int copy = 0; copy < copies; ++copy) {
+    sim::Duration delay = base_delay;
+    if (verdict.jitter > 0) {
+      delay += static_cast<sim::Duration>(
+          sim_.rng().uniform_u64(static_cast<uint64_t>(verdict.jitter)));
+    }
+    sim_.schedule_after(delay, [this, packet] { deliver(packet); });
+  }
 }
 
 bool Network::send_unicast(HostId from, Address to, Payload payload) {
@@ -88,19 +122,8 @@ bool Network::send_unicast(HostId from, Address to, Payload payload) {
   packet.wire_bytes = wire;
   packet.sent_at = sim_.now();
 
-  if (!survives(path, fragments_for(packet.size()))) {
-    hosts_[to.host].stats.dropped_messages += 1;
-    total_.dropped_messages += 1;
-    return true;
-  }
-
-  sim::Duration delay = config_.min_delivery_delay + path.latency;
-  if (path.min_bandwidth_bps > 0) {
-    delay += static_cast<sim::Duration>(static_cast<double>(wire) * 8.0 /
-                                        path.min_bandwidth_bps * 1e9);
-  }
-  sim_.schedule_after(delay,
-                      [this, packet = std::move(packet)] { deliver(packet); });
+  const size_t fragments = fragments_for(packet.size());
+  dispatch(std::move(packet), path, fragments);
   return true;
 }
 
@@ -125,11 +148,6 @@ bool Network::send_multicast(HostId from, ChannelId channel, uint8_t ttl,
     if (!path.reachable || path.router_hops + 1 > static_cast<int>(ttl)) {
       continue;  // out of TTL scope: routers discarded the packet
     }
-    if (!survives(path, fragments)) {
-      hosts_[receiver].stats.dropped_messages += 1;
-      total_.dropped_messages += 1;
-      continue;
-    }
     Packet packet;
     packet.from = Address{from, 0};
     packet.to = Address{receiver, port};
@@ -140,13 +158,7 @@ bool Network::send_multicast(HostId from, ChannelId channel, uint8_t ttl,
     packet.wire_bytes = wire;
     packet.sent_at = sim_.now();
 
-    sim::Duration delay = config_.min_delivery_delay + path.latency;
-    if (path.min_bandwidth_bps > 0) {
-      delay += static_cast<sim::Duration>(static_cast<double>(wire) * 8.0 /
-                                          path.min_bandwidth_bps * 1e9);
-    }
-    sim_.schedule_after(
-        delay, [this, packet = std::move(packet)] { deliver(packet); });
+    dispatch(std::move(packet), path, fragments);
   }
   return true;
 }

@@ -32,6 +32,25 @@ struct NetworkConfig {
   sim::Duration min_delivery_delay = 5 * sim::kMicrosecond;
 };
 
+// Per-(sender, receiver) fault-injection hook, consulted once for every
+// datagram towards every receiver. Directional by construction — a verdict
+// for (a, b) says nothing about (b, a) — which is what lets a FaultPlan
+// express asymmetric partitions. All randomness implied by a verdict
+// (loss, jitter) is drawn from the simulation RNG, so injected chaos stays
+// deterministic per seed.
+class FaultInjector {
+ public:
+  struct Verdict {
+    bool cut = false;               // directional blackhole: drop outright
+    double extra_loss = 0.0;        // additional per-fragment loss prob
+    sim::Duration extra_delay = 0;  // fixed added delivery latency
+    sim::Duration jitter = 0;       // uniform extra delay in [0, jitter)
+    int duplicates = 0;             // extra copies delivered (dup storm)
+  };
+  virtual ~FaultInjector() = default;
+  virtual Verdict verdict(HostId from, HostId to) = 0;
+};
+
 // Cumulative traffic counters. `rx_*` count packets actually delivered to a
 // bound socket; `rx_wire_*` count traffic arriving at the NIC (including
 // packets for channels the host joined but with no socket bound — these
@@ -87,6 +106,12 @@ class Network {
   void set_host_up(HostId host, bool up);
   bool host_up(HostId host) const;
 
+  // Install a fault injector consulted on every (sender, receiver) delivery
+  // attempt. Not owned; nullptr clears. With no injector installed the send
+  // paths draw exactly the same RNG sequence as before the hook existed.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   // --- accounting -------------------------------------------------------
   TrafficStats& stats(HostId host);
   const TrafficStats& total_stats() const { return total_; }
@@ -107,8 +132,13 @@ class Network {
 
   size_t wire_bytes_for(size_t payload_size) const;
   size_t fragments_for(size_t payload_size) const;
-  // Applies path loss (per fragment) + extra loss; true if delivered.
-  bool survives(const PathInfo& path, size_t fragments);
+  // Applies path loss (per fragment) + configured extra loss + any
+  // injector-imposed loss; true if delivered.
+  bool survives(const PathInfo& path, size_t fragments, double injected_loss);
+  // Queues the packet towards one receiver, applying the injector verdict
+  // (cut / loss / delay / jitter / duplication). Shared by unicast and the
+  // per-receiver multicast fan-out.
+  void dispatch(Packet packet, const PathInfo& path, size_t fragments);
   void deliver(Packet packet);
 
   sim::Simulation& sim_;
@@ -116,6 +146,7 @@ class Network {
   NetworkConfig config_;
   std::vector<HostState> hosts_;
   std::vector<HostId> virtual_ips_;
+  FaultInjector* injector_ = nullptr;
   TrafficStats total_;
 };
 

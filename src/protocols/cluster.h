@@ -41,7 +41,13 @@ class Cluster {
   void stop_all();
 
   size_t size() const { return daemons_.size(); }
+  const Options& options() const { return options_; }
   MembershipDaemon& daemon(size_t index) { return *daemons_[index]; }
+  // True if the daemon at `index` has not been kill()ed (restart revives).
+  bool alive(size_t index) const { return alive_[index]; }
+  membership::Incarnation incarnation(size_t index) const {
+    return incarnations_[index];
+  }
   MembershipDaemon* daemon_for(net::HostId host);
   HierDaemon* hier_daemon(size_t index);
   const std::vector<net::HostId>& hosts() const { return hosts_; }

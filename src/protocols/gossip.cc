@@ -44,7 +44,7 @@ void GossipDaemon::add_seed(const membership::EntryData& entry) {
   if (entry.node == self_) return;
   if (table_.apply(entry, Liveness::kDirect, membership::kInvalidNode,
                    sim_.now()) == ApplyResult::kAdded) {
-    peers_[entry.node] = PeerState{0, sim_.now()};
+    peers_[entry.node] = PeerState{0, entry.incarnation, sim_.now()};
     notify(entry.node, true);
   }
 }
@@ -113,8 +113,9 @@ void GossipDaemon::scan() {
   for (auto node : failed) {
     const auto* entry = table_.find(node);
     uint64_t counter = peers_[node].counter;
-    table_.remove(node, entry ? entry->data.incarnation : 0, now);
-    dead_[node] = DeadState{counter, now + 2 * tfail};
+    uint64_t incarnation = entry ? entry->data.incarnation : 0;
+    table_.remove(node, incarnation, now);
+    dead_[node] = DeadState{counter, incarnation, now + 2 * tfail};
     peers_.erase(node);
     TAMP_LOG(Info) << "gossip node " << self_ << " declares " << node
                    << " failed";
@@ -144,8 +145,14 @@ void GossipDaemon::on_packet(const net::Packet& packet) {
 
     auto dead = dead_.find(node);
     if (dead != dead_.end()) {
-      if (record.heartbeat_counter <= dead->second.counter) continue;
-      dead_.erase(dead);  // genuinely came back: newer counter than at death
+      // Came back for real if the counter moved past its value at death, or
+      // if this is a fresh incarnation (a restarted process begins counting
+      // from zero, so the counter test alone would quarantine it).
+      if (record.heartbeat_counter <= dead->second.counter &&
+          record.entry.incarnation <= dead->second.incarnation) {
+        continue;
+      }
+      dead_.erase(dead);
     }
 
     auto peer = peers_.find(node);
@@ -153,17 +160,26 @@ void GossipDaemon::on_packet(const net::Packet& packet) {
       ApplyResult result = table_.apply(record.entry, Liveness::kDirect,
                                         membership::kInvalidNode, now);
       if (result != ApplyResult::kStale) {
-        peers_[node] = PeerState{record.heartbeat_counter, now};
+        peers_[node] = PeerState{record.heartbeat_counter,
+                                 record.entry.incarnation, now};
         notify(node, true);
       }
       continue;
     }
-    if (record.heartbeat_counter > peer->second.counter) {
+    if (record.entry.incarnation > peer->second.incarnation) {
+      // New life: restart the counter cursor in the new counter-space.
+      peer->second = PeerState{record.heartbeat_counter,
+                               record.entry.incarnation, now};
+      table_.apply(record.entry, Liveness::kDirect, membership::kInvalidNode,
+                   now);
+    } else if (record.entry.incarnation == peer->second.incarnation &&
+               record.heartbeat_counter > peer->second.counter) {
       peer->second.counter = record.heartbeat_counter;
       peer->second.last_increase = now;
       table_.apply(record.entry, Liveness::kDirect, membership::kInvalidNode,
                    now);
     }
+    // Lower incarnation: stale gossip about a previous life — ignore.
   }
 }
 

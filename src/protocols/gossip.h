@@ -61,8 +61,14 @@ class GossipDaemon : public MembershipDaemon {
   const GossipConfig& config() const { return config_; }
 
  private:
+  // Heartbeat-counter cursor for one peer, scoped to an incarnation: a
+  // restarted peer begins a fresh counter-space at zero, so comparing its
+  // counters against the old life's cursor would declare it silent forever
+  // (and a stale relayed record of the old life must not drag the cursor
+  // past the new life's counters).
   struct PeerState {
     uint64_t counter = 0;
+    uint64_t incarnation = 0;
     sim::Time last_increase = 0;
   };
 
@@ -79,9 +85,12 @@ class GossipDaemon : public MembershipDaemon {
   uint64_t own_counter_ = 0;
   std::unordered_map<membership::NodeId, PeerState> peers_;
   // Failed nodes quarantined until the stored time; records with counters
-  // <= .counter are ignored while quarantined.
+  // <= .counter are ignored while quarantined — unless they carry a higher
+  // incarnation, which proves a restarted process (fresh counters start at
+  // zero) rather than stale gossip about the dead one.
   struct DeadState {
     uint64_t counter = 0;
+    uint64_t incarnation = 0;
     sim::Time until = 0;
   };
   std::unordered_map<membership::NodeId, DeadState> dead_;

@@ -1,0 +1,475 @@
+#include "protocols/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace tamp::protocols {
+
+using membership::Liveness;
+using membership::NodeId;
+
+std::string MembershipOracle::Violation::to_string() const {
+  std::string out = "[" + sim::format_time(when) + "] " + invariant;
+  if (observer != membership::kInvalidNode) {
+    out += " observer=" + std::to_string(observer);
+  }
+  if (subject != membership::kInvalidNode) {
+    out += " subject=" + std::to_string(subject);
+  }
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+MembershipOracle::MembershipOracle(sim::Simulation& sim, net::Network& net,
+                                   net::Topology& topology, Cluster& cluster,
+                                   Config config)
+    : sim_(sim),
+      net_(net),
+      topology_(topology),
+      cluster_(cluster),
+      config_(config),
+      check_timer_(sim, config.check_interval, [this] { tick(); }) {
+  truth_.resize(cluster_.size());
+  derive_bounds();
+}
+
+MembershipOracle::MembershipOracle(sim::Simulation& sim, net::Network& net,
+                                   net::Topology& topology, Cluster& cluster)
+    : MembershipOracle(sim, net, topology, cluster, Config{}) {}
+
+void MembershipOracle::derive_bounds() {
+  const Cluster::Options& opts = cluster_.options();
+  const double n = static_cast<double>(std::max<size_t>(cluster_.size(), 2));
+  const double log_n = std::log2(n);
+  switch (opts.scheme) {
+    case Scheme::kAllToAll: {
+      const auto& cfg = opts.alltoall;
+      detection_bound_ =
+          cfg.max_losses * cfg.period + cfg.scan_interval + cfg.period;
+      convergence_bound_ = detection_bound_ + cfg.period;
+      // Heals are heartbeat-fast: direct observations override tombstones.
+      quiesce_ = convergence_bound_ + 3 * cfg.period;
+      break;
+    }
+    case Scheme::kGossip: {
+      const auto& cfg = opts.gossip;
+      sim::Duration tfail =
+          cfg.tfail > 0
+              ? cfg.tfail
+              : static_cast<sim::Duration>(
+                    static_cast<double>(cfg.period) *
+                    (cfg.tfail_c0 + cfg.tfail_c1 * log_n));
+      // Dissemination spreads in O(log n) rounds.
+      sim::Duration spread = static_cast<sim::Duration>(
+          static_cast<double>(cfg.period) * (log_n + 2.0));
+      detection_bound_ = tfail + spread;
+      convergence_bound_ = detection_bound_ + spread;
+      // Re-admission after a (correct) removal waits out the 2*tfail
+      // quarantine before stale-counter records are believed again.
+      quiesce_ = 2 * tfail + 2 * spread + 3 * cfg.period;
+      break;
+    }
+    case Scheme::kHierarchical: {
+      const auto& cfg = opts.hier;
+      int levels = std::max(1, std::min(cfg.max_ttl, topology_.max_ttl()));
+      double worst_factor =
+          std::pow(cfg.level_timeout_factor, static_cast<double>(levels - 1));
+      sim::Duration worst_timeout = static_cast<sim::Duration>(
+          static_cast<double>(cfg.max_losses * cfg.period) * worst_factor);
+      detection_bound_ = worst_timeout + cfg.scan_interval + cfg.period;
+      // LEAVE records relay one level per hop; elections may interleave.
+      convergence_bound_ =
+          detection_bound_ + (levels + 2) * cfg.period +
+          cfg.election_timeout + cfg.coordinator_timeout + cfg.backup_grace;
+      // Full repair after partitions needs tombstone expiry plus one
+      // anti-entropy refresh cycle on top of detection + convergence.
+      quiesce_ = convergence_bound_ + cfg.tombstone_ttl +
+                 (cfg.refresh_interval > 0 ? cfg.refresh_interval
+                                           : 5 * cfg.period) +
+                 3 * cfg.period;
+      break;
+    }
+  }
+  if (config_.quiesce > 0) quiesce_ = config_.quiesce;
+}
+
+sim::Duration MembershipOracle::detection_deadline() const {
+  return static_cast<sim::Duration>(
+      static_cast<double>(detection_bound_ + convergence_bound_) *
+      config_.slack);
+}
+
+void MembershipOracle::start() {
+  TAMP_CHECK(!running_);
+  running_ = true;
+  for (size_t i = 0; i < cluster_.size(); ++i) install_listener(i);
+  check_timer_.start(config_.check_interval);
+}
+
+void MembershipOracle::stop() {
+  running_ = false;
+  check_timer_.stop();
+}
+
+void MembershipOracle::install_listener(size_t index) {
+  cluster_.daemon(index).set_change_listener(
+      [this, index](NodeId subject, bool alive, sim::Time when) {
+        on_change(index, subject, alive, when);
+      });
+}
+
+// --- ground truth -----------------------------------------------------------
+
+void MembershipOracle::note_crash(size_t index) {
+  TAMP_CHECK(index < truth_.size());
+  truth_[index].alive = false;
+  truth_[index].last_disturbed = sim_.now();
+  last_fault_ = sim_.now();
+
+  // A crashed node stops observing; drop it from every outstanding probe,
+  // and retire probes for a victim that is now crashed again (re-crash).
+  for (auto& probe : probes_) {
+    std::erase(probe.pending, index);
+  }
+
+  // New obligation: observers that knew the victim and can (still) be
+  // reached from nothing-changed paths must detect within the bound.
+  KillProbe probe;
+  probe.victim_index = index;
+  probe.victim = cluster_.hosts()[index];
+  probe.killed_at = sim_.now();
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (i == index || !truth_[i].alive || truth_[i].paused) continue;
+    if (!cluster_.daemon(i).table().contains(probe.victim)) continue;
+    probe.pending.push_back(i);
+  }
+  if (!probe.pending.empty()) probes_.push_back(std::move(probe));
+}
+
+void MembershipOracle::note_restart(size_t index) {
+  TAMP_CHECK(index < truth_.size());
+  truth_[index].alive = true;
+  truth_[index].paused = false;
+  truth_[index].last_disturbed = sim_.now();
+  last_fault_ = sim_.now();
+  // The revenant is a new life: observers are no longer required to report
+  // the old one's death.
+  std::erase_if(probes_, [&](const KillProbe& probe) {
+    return probe.victim_index == index;
+  });
+  // Cluster::restart builds a fresh daemon; re-claim its listener slot.
+  install_listener(index);
+}
+
+void MembershipOracle::note_pause(size_t index) {
+  TAMP_CHECK(index < truth_.size());
+  truth_[index].paused = true;
+  truth_[index].last_disturbed = sim_.now();
+  last_fault_ = sim_.now();
+  for (auto& probe : probes_) std::erase(probe.pending, index);
+}
+
+void MembershipOracle::note_resume(size_t index) {
+  TAMP_CHECK(index < truth_.size());
+  truth_[index].paused = false;
+  truth_[index].last_disturbed = sim_.now();
+  last_fault_ = sim_.now();
+}
+
+void MembershipOracle::note_network_fault(bool any_active) {
+  network_fault_active_ = any_active;
+  last_network_change_ = sim_.now();
+  last_fault_ = sim_.now();
+  // Detection probes cannot be graded across arbitrary network chaos; the
+  // quiescent completeness check takes over from here.
+  probes_.clear();
+}
+
+// --- reachability ------------------------------------------------------------
+
+bool MembershipOracle::default_reachable(net::HostId from,
+                                         net::HostId to) const {
+  return net_.host_up(from) && net_.host_up(to) &&
+         topology_.path(from, to).reachable;
+}
+
+bool MembershipOracle::is_reachable(net::HostId from, net::HostId to) const {
+  if (reachable_) return reachable_(from, to);
+  return default_reachable(from, to);
+}
+
+// --- event-driven checks -----------------------------------------------------
+
+bool MembershipOracle::excused(size_t observer_index, NodeId subject,
+                               sim::Time when) const {
+  if (when < config_.formation_grace) return true;
+  if (network_fault_active_) return true;
+  const sim::Duration window = detection_deadline();
+  if (last_network_change_ > 0 && when - last_network_change_ < window) {
+    return true;
+  }
+  // Either endpoint recently crashed / restarted / paused / resumed.
+  auto victim_it = std::find(cluster_.hosts().begin(), cluster_.hosts().end(),
+                             subject);
+  if (victim_it != cluster_.hosts().end()) {
+    size_t subject_index =
+        static_cast<size_t>(victim_it - cluster_.hosts().begin());
+    const NodeTruth& subject_truth = truth_[subject_index];
+    if (subject_truth.paused) return true;
+    if (subject_truth.last_disturbed > 0 &&
+        when - subject_truth.last_disturbed < window) {
+      return true;
+    }
+    // The subject's heartbeats cannot reach this observer: removing it is
+    // the correct response to a partition.
+    if (!is_reachable(subject, cluster_.hosts()[observer_index])) return true;
+  }
+  const NodeTruth& observer_truth = truth_[observer_index];
+  if (observer_truth.paused) return true;
+  if (observer_truth.last_disturbed > 0 &&
+      when - observer_truth.last_disturbed < window) {
+    return true;
+  }
+  return false;
+}
+
+void MembershipOracle::on_change(size_t observer_index, NodeId subject,
+                                 bool alive, sim::Time when) {
+  if (!running_) return;
+  if (alive) return;  // joins are graded by the completeness check
+
+  // Settle detection obligations.
+  for (auto& probe : probes_) {
+    if (probe.victim == subject) std::erase(probe.pending, observer_index);
+  }
+  std::erase_if(probes_, [](const KillProbe& p) { return p.pending.empty(); });
+
+  // Invariant 2: no false failure declarations.
+  auto it =
+      std::find(cluster_.hosts().begin(), cluster_.hosts().end(), subject);
+  if (it == cluster_.hosts().end()) return;  // phantom check handles this
+  size_t subject_index = static_cast<size_t>(it - cluster_.hosts().begin());
+  if (!truth_[subject_index].alive) return;  // correct detection
+  if (excused(observer_index, subject, when)) return;
+  add_violation(
+      "false-failure", cluster_.hosts()[observer_index], subject,
+      "declared dead while alive, reachable, and undisturbed for longer "
+      "than the detection deadline (" +
+          sim::format_time(detection_deadline()) + ")");
+}
+
+// --- periodic checks --------------------------------------------------------
+
+bool MembershipOracle::quiescent() const {
+  if (network_fault_active_) return false;
+  sim::Time now = sim_.now();
+  if (now < config_.formation_grace) return false;
+  if (last_fault_ == 0) return true;  // never disturbed: settled after grace
+  return now - last_fault_ >= quiesce_;
+}
+
+void MembershipOracle::tick() {
+  if (!running_) return;
+  ++checks_run_;
+  check_phantoms();
+  check_kill_probes();
+  if (quiescent()) {
+    check_completeness();
+    if (cluster_.options().scheme == Scheme::kHierarchical) {
+      check_leader_uniqueness();
+      check_provenance();
+    }
+  }
+}
+
+void MembershipOracle::check_phantoms() {
+  // Invariant 1: views only ever contain nodes that exist.
+  std::set<NodeId> valid(cluster_.hosts().begin(), cluster_.hosts().end());
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (!truth_[i].alive) continue;
+    for (NodeId id : cluster_.daemon(i).table().node_ids()) {
+      if (!valid.contains(id)) {
+        add_violation("phantom-member", cluster_.hosts()[i], id,
+                      "directory lists a node that was never in the cluster");
+      }
+    }
+  }
+}
+
+void MembershipOracle::check_kill_probes() {
+  // Invariant 3: bounded detection after a clean crash.
+  const sim::Duration deadline = detection_deadline();
+  sim::Time now = sim_.now();
+  for (auto& probe : probes_) {
+    if (now - probe.killed_at <= deadline) continue;
+    for (size_t observer : probe.pending) {
+      if (!truth_[observer].alive || truth_[observer].paused) continue;
+      // Re-verify against the table itself so a lost notification cannot
+      // produce a spurious violation.
+      if (!cluster_.daemon(observer).table().contains(probe.victim)) continue;
+      if (truth_[observer].last_disturbed > probe.killed_at) continue;
+      add_violation(
+          "detection-bound", cluster_.hosts()[observer], probe.victim,
+          "crash at " + sim::format_time(probe.killed_at) +
+              " still undetected after " +
+              sim::format_time(now - probe.killed_at) + " (deadline " +
+              sim::format_time(deadline) + ")");
+    }
+    probe.pending.clear();
+  }
+  std::erase_if(probes_, [](const KillProbe& p) { return p.pending.empty(); });
+}
+
+void MembershipOracle::check_completeness() {
+  // Invariant 4: at quiescence every view is exactly the live node set.
+  std::vector<NodeId> expected;
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (truth_[i].alive && !truth_[i].paused) {
+      expected.push_back(cluster_.hosts()[i]);
+    }
+  }
+  std::sort(expected.begin(), expected.end());
+
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (!truth_[i].alive || truth_[i].paused) continue;
+    std::vector<NodeId> view = cluster_.daemon(i).table().node_ids();
+    if (view.size() == expected.size() &&
+        std::equal(view.begin(), view.end(), expected.begin())) {
+      continue;
+    }
+    // Name one concrete discrepancy for the report.
+    std::string detail;
+    NodeId culprit = membership::kInvalidNode;
+    for (NodeId id : expected) {
+      if (!std::binary_search(view.begin(), view.end(), id)) {
+        culprit = id;
+        detail = "live node missing from view at quiescence";
+        break;
+      }
+    }
+    if (culprit == membership::kInvalidNode) {
+      for (NodeId id : view) {
+        if (!std::binary_search(expected.begin(), expected.end(), id)) {
+          culprit = id;
+          detail = "dead node still present in view at quiescence";
+          break;
+        }
+      }
+    }
+    add_violation("completeness", cluster_.hosts()[i], culprit,
+                  detail + " (view " + std::to_string(view.size()) + "/" +
+                      std::to_string(expected.size()) + " nodes)");
+  }
+}
+
+void MembershipOracle::check_leader_uniqueness() {
+  // Invariant 5: "a group leader cannot see other leaders at the same
+  // level" — no two level-L leaders within TTL L+1 of each other.
+  const int levels =
+      std::max(1, std::min(cluster_.options().hier.max_ttl,
+                           topology_.max_ttl()));
+  for (int level = 0; level < levels; ++level) {
+    std::vector<size_t> leaders;
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+      if (!truth_[i].alive || truth_[i].paused) continue;
+      HierDaemon* daemon = cluster_.hier_daemon(i);
+      if (daemon != nullptr && daemon->running() && daemon->is_leader(level)) {
+        leaders.push_back(i);
+      }
+    }
+    for (size_t a = 0; a < leaders.size(); ++a) {
+      for (size_t b = a + 1; b < leaders.size(); ++b) {
+        net::HostId ha = cluster_.hosts()[leaders[a]];
+        net::HostId hb = cluster_.hosts()[leaders[b]];
+        int ttl = topology_.ttl_required(ha, hb);
+        if (ttl == 0 || ttl > level + 1) continue;  // out of earshot
+        if (!is_reachable(ha, hb) || !is_reachable(hb, ha)) continue;
+        add_violation("leader-uniqueness", ha, hb,
+                      "two level-" + std::to_string(level) +
+                          " leaders within earshot (ttl " +
+                          std::to_string(ttl) + ")");
+      }
+    }
+  }
+}
+
+void MembershipOracle::check_provenance() {
+  // Invariant 6: relayed_by chains are acyclic and rooted at a live,
+  // directly-heard relay.
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (!truth_[i].alive || truth_[i].paused) continue;
+    HierDaemon* daemon = cluster_.hier_daemon(i);
+    if (daemon == nullptr || !daemon->running()) continue;
+    const auto& table = daemon->table();
+    for (const auto& [id, entry] : table.entries()) {
+      if (entry.liveness != Liveness::kRelayed) continue;
+      std::set<NodeId> visited{id};
+      const membership::MembershipEntry* cursor = &entry;
+      NodeId subject = id;
+      while (true) {
+        NodeId relay = cursor->relayed_by;
+        if (relay == daemon->self()) break;  // self-rooted: fine
+        if (relay == membership::kInvalidNode) {
+          add_violation("provenance", daemon->self(), subject,
+                        "relayed entry with no relay at quiescence");
+          break;
+        }
+        auto relay_it =
+            std::find(cluster_.hosts().begin(), cluster_.hosts().end(), relay);
+        if (relay_it == cluster_.hosts().end() ||
+            !truth_[static_cast<size_t>(relay_it - cluster_.hosts().begin())]
+                 .alive) {
+          add_violation("provenance", daemon->self(), subject,
+                        "provenance chain rooted at dead relay " +
+                            std::to_string(relay));
+          break;
+        }
+        if (!visited.insert(relay).second) {
+          add_violation("provenance", daemon->self(), subject,
+                        "provenance cycle through relay " +
+                            std::to_string(relay));
+          break;
+        }
+        const membership::MembershipEntry* next = table.find(relay);
+        if (next == nullptr) {
+          add_violation("provenance", daemon->self(), subject,
+                        "relay " + std::to_string(relay) +
+                            " missing from the directory");
+          break;
+        }
+        if (next->liveness == Liveness::kDirect) break;  // well-founded root
+        cursor = next;
+        subject = relay;
+      }
+    }
+  }
+}
+
+void MembershipOracle::add_violation(const std::string& invariant,
+                                     NodeId observer, NodeId subject,
+                                     const std::string& detail) {
+  if (violations_.size() >= config_.max_violations) return;
+  Violation violation;
+  violation.invariant = invariant;
+  violation.when = sim_.now();
+  violation.observer = observer;
+  violation.subject = subject;
+  violation.detail = detail;
+  TAMP_LOG(Warn) << "oracle violation: " << violation.to_string();
+  violations_.push_back(std::move(violation));
+}
+
+std::string MembershipOracle::report() const {
+  std::string out;
+  for (const auto& violation : violations_) {
+    if (!out.empty()) out += "\n";
+    out += violation.to_string();
+  }
+  return out;
+}
+
+}  // namespace tamp::protocols

@@ -1,0 +1,170 @@
+// The membership invariant oracle: continuous, automatic grading of a
+// running cluster against the paper's correctness claims.
+//
+// The oracle owns the ground truth — which nodes are really alive, paused,
+// or partitioned comes from the fault executor via the note_*() calls — and
+// every virtual second compares it against what the protocol believes. The
+// invariants checked (paper Sections 1, 3.1, 4):
+//
+//  1. No phantoms (always): no directory ever contains a node that was
+//     never part of the cluster.
+//  2. No false failure declarations (always): a node that stayed alive and
+//     reachable from its observer for longer than the scheme's detection
+//     bound is never declared dead. Declarations made while faults are
+//     actively disturbing the network, or within one detection bound of
+//     one, are excused — removing an unreachable node is *correct*.
+//  3. Bounded detection (event-driven): after a clean crash, every running
+//     observer that knew the victim must remove it within the Section-4
+//     detection+convergence bound times a slack factor, unless another
+//     fault intervened.
+//  4. Eventual completeness (at quiescence): once the schedule has been
+//     quiet long enough for the scheme's own repair horizon (timeouts,
+//     tombstone expiry, anti-entropy), every running node's view equals
+//     exactly the live node set — the paper's completeness + accuracy.
+//  5. Leader uniqueness (at quiescence, hierarchical): no two level-L
+//     leaders within TTL L+1 of each other — "a group leader cannot see
+//     other leaders at the same level".
+//  6. Provenance hygiene (at quiescence, hierarchical): every relayed
+//     entry's relayed_by chain is acyclic and terminates at a directly
+//     heard, actually-live relay (the Timeout protocol's purge chains stay
+//     well-founded).
+//
+// The first violation is captured with full context (invariant, observer,
+// subject, virtual time, detail) so a failing chaos scenario is
+// diagnosable from the test log alone.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "protocols/cluster.h"
+#include "sim/timer.h"
+
+namespace tamp::protocols {
+
+class MembershipOracle {
+ public:
+  struct Config {
+    sim::Duration check_interval = sim::kSecond;
+    // Multiplier on the analytical detection/convergence bounds; >1 absorbs
+    // scan-interval quantization and scheduling phase.
+    double slack = 3.0;
+    // Cold-start allowance before invariants 2-4 arm.
+    sim::Duration formation_grace = 15 * sim::kSecond;
+    // Quiet time after the last fault before the quiescent invariants
+    // (completeness, leader uniqueness, provenance) are enforced.
+    // 0 = derive from the scheme's timeout/tombstone/anti-entropy config.
+    sim::Duration quiesce = 0;
+    size_t max_violations = 8;  // stop collecting after this many
+  };
+
+  struct Violation {
+    std::string invariant;
+    sim::Time when = 0;
+    membership::NodeId observer = membership::kInvalidNode;
+    membership::NodeId subject = membership::kInvalidNode;
+    std::string detail;
+
+    std::string to_string() const;
+  };
+
+  MembershipOracle(sim::Simulation& sim, net::Network& net,
+                   net::Topology& topology, Cluster& cluster, Config config);
+  MembershipOracle(sim::Simulation& sim, net::Network& net,
+                   net::Topology& topology, Cluster& cluster);
+
+  // Installs per-daemon change listeners (claiming the cluster's listener
+  // slot) and starts the periodic check. Call after Cluster construction,
+  // before or after start_all().
+  void start();
+  void stop();
+
+  // --- ground truth (the fault executor reports every action) -----------
+  void note_crash(size_t index);
+  void note_restart(size_t index);
+  void note_pause(size_t index);
+  void note_resume(size_t index);
+  // Any change to network conditions (partition start *or* heal, loss /
+  // delay / duplication window edges, link state) — resets the quiescence
+  // clock and opens an excuse window for failure declarations.
+  void note_network_fault(bool any_active);
+
+  // Reachability under the currently injected faults, direction-sensitive
+  // (can packets from `a` reach `b`?). Defaults to topology reachability +
+  // host up/down; the scenario runner overrides it to include injected
+  // partitions.
+  void set_reachability(std::function<bool(net::HostId, net::HostId)> fn) {
+    reachable_ = std::move(fn);
+  }
+
+  // --- results -----------------------------------------------------------
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  // All captured violations, one per line (empty string when ok).
+  std::string report() const;
+  uint64_t checks_run() const { return checks_run_; }
+
+  // Scheme-derived bounds (without slack); exposed for tests.
+  sim::Duration detection_bound() const { return detection_bound_; }
+  sim::Duration convergence_bound() const { return convergence_bound_; }
+  sim::Duration quiesce_bound() const { return quiesce_; }
+  // Bound × slack: the deadline actually enforced.
+  sim::Duration detection_deadline() const;
+
+ private:
+  struct NodeTruth {
+    bool alive = true;
+    bool paused = false;
+    sim::Time last_disturbed = 0;  // crash/restart/pause/resume
+  };
+  // Outstanding obligation from a clean crash: every observer listed in
+  // `pending` must drop the victim by `killed_at + detection_deadline()`.
+  struct KillProbe {
+    size_t victim_index = 0;
+    membership::NodeId victim = membership::kInvalidNode;
+    sim::Time killed_at = 0;
+    std::vector<size_t> pending;
+  };
+
+  void derive_bounds();
+  void install_listener(size_t index);
+  void on_change(size_t observer_index, membership::NodeId subject, bool alive,
+                 sim::Time when);
+  bool default_reachable(net::HostId from, net::HostId to) const;
+  bool is_reachable(net::HostId from, net::HostId to) const;
+  bool excused(size_t observer_index, membership::NodeId subject,
+               sim::Time when) const;
+  bool quiescent() const;
+  void tick();
+  void check_phantoms();
+  void check_kill_probes();
+  void check_completeness();
+  void check_leader_uniqueness();
+  void check_provenance();
+  void add_violation(const std::string& invariant, membership::NodeId observer,
+                     membership::NodeId subject, const std::string& detail);
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  net::Topology& topology_;
+  Cluster& cluster_;
+  Config config_;
+  sim::PeriodicTimer check_timer_;
+
+  std::vector<NodeTruth> truth_;
+  std::vector<KillProbe> probes_;
+  sim::Time last_fault_ = 0;          // any note_*() call
+  sim::Time last_network_change_ = 0; // network-condition edges only
+  bool network_fault_active_ = false;
+  std::function<bool(net::HostId, net::HostId)> reachable_;
+
+  sim::Duration detection_bound_ = 0;
+  sim::Duration convergence_bound_ = 0;
+  sim::Duration quiesce_ = 0;
+  std::vector<Violation> violations_;
+  uint64_t checks_run_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace tamp::protocols

@@ -1,0 +1,188 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace tamp::chaos {
+
+sim::Time FaultPlan::last_event_time() const {
+  sim::Time last = 0;
+  for (const auto& event : events) last = std::max(last, event.at);
+  return last;
+}
+
+namespace {
+
+std::string index_list(const std::vector<NodeIndex>& indices) {
+  std::string out = "{";
+  for (size_t i = 0; i < indices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(indices[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string describe(const FaultAction& action) {
+  struct Visitor {
+    std::string operator()(const CrashFault& f) {
+      return "crash node " + std::to_string(f.node);
+    }
+    std::string operator()(const RestartFault& f) {
+      return "restart node " + std::to_string(f.node);
+    }
+    std::string operator()(const PauseFault& f) {
+      return "pause node " + std::to_string(f.node);
+    }
+    std::string operator()(const ResumeFault& f) {
+      return "resume node " + std::to_string(f.node);
+    }
+    std::string operator()(const LeaderCrashFault&) { return "crash leader"; }
+    std::string operator()(const LeaderRestartFault&) {
+      return "restart crashed leader";
+    }
+    std::string operator()(const PartitionStartFault& f) {
+      return "partition start id=" + std::to_string(f.id) + " island=" +
+             index_list(f.island) + (f.symmetric ? "" : " asym");
+    }
+    std::string operator()(const PartitionEndFault& f) {
+      return "partition heal id=" + std::to_string(f.id);
+    }
+    std::string operator()(const UplinkDownFault& f) {
+      return "uplink down segment " + std::to_string(f.segment);
+    }
+    std::string operator()(const UplinkUpFault& f) {
+      return "uplink up segment " + std::to_string(f.segment);
+    }
+    std::string operator()(const LossStartFault& f) {
+      return "loss spike start p=" + std::to_string(f.loss);
+    }
+    std::string operator()(const LossEndFault&) { return "loss spike end"; }
+    std::string operator()(const DelayStartFault& f) {
+      return "delay spike start +" + std::to_string(sim::to_millis(f.extra)) +
+             "ms jitter " + std::to_string(sim::to_millis(f.jitter)) + "ms";
+    }
+    std::string operator()(const DelayEndFault&) { return "delay spike end"; }
+    std::string operator()(const DuplicateStartFault& f) {
+      return "duplication start x" + std::to_string(1 + f.copies);
+    }
+    std::string operator()(const DuplicateEndFault&) {
+      return "duplication end";
+    }
+  };
+  return std::visit(Visitor{}, action);
+}
+
+const char* plan_name(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kCrashRestart:
+      return "crash-restart";
+    case PlanKind::kPartitionHeal:
+      return "partition-heal";
+    case PlanKind::kAsymmetricCut:
+      return "asymmetric-cut";
+    case PlanKind::kLossStorm:
+      return "loss-storm";
+    case PlanKind::kLeaderKill:
+      return "leader-kill";
+    case PlanKind::kPauseResume:
+      return "pause-resume";
+    case PlanKind::kUplinkFlap:
+      return "uplink-flap";
+  }
+  return "?";
+}
+
+FaultPlan make_fault_plan(PlanKind kind, size_t nodes, size_t segment_size,
+                          sim::Time start, uint64_t seed) {
+  TAMP_CHECK(nodes >= 4);
+  TAMP_CHECK(segment_size >= 1 && segment_size <= nodes);
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(kind));
+  FaultPlan plan;
+  plan.name = plan_name(kind);
+
+  // Victims are drawn from [1, nodes): index 0 is the lowest id — the bully
+  // winner — which the leader-targeted plans kill on purpose and the
+  // random-victim plans leave alone so the two cases stay distinguishable.
+  auto victim = [&] {
+    return static_cast<NodeIndex>(1 + rng.uniform_u64(nodes - 1));
+  };
+  // The first segment of the layout (or the first quarter on a single
+  // segment), as a partition island.
+  auto island = [&] {
+    size_t count = segment_size < nodes ? segment_size
+                                        : std::max<size_t>(2, nodes / 4);
+    std::vector<NodeIndex> out(count);
+    for (size_t i = 0; i < count; ++i) out[i] = i;
+    return out;
+  };
+  auto at = [&](double seconds, FaultAction action) {
+    plan.events.push_back(
+        FaultEvent{start + sim::from_seconds(seconds), std::move(action)});
+  };
+
+  switch (kind) {
+    case PlanKind::kCrashRestart: {
+      NodeIndex a = victim();
+      NodeIndex b = victim();
+      if (b == a) b = (a % (nodes - 1)) + 1;  // distinct second victim
+      at(0, CrashFault{a});
+      at(20, RestartFault{a});  // comes back with a new incarnation
+      at(30, CrashFault{b});
+      break;
+    }
+    case PlanKind::kPartitionHeal:
+      at(0, PartitionStartFault{1, island(), /*symmetric=*/true});
+      at(25, PartitionEndFault{1});
+      break;
+    case PlanKind::kAsymmetricCut:
+      // Island packets die on the way out; the return path stays up. The
+      // rest of the cluster must (correctly) declare the island dead while
+      // the island keeps a complete view, and the views must re-merge on
+      // heal.
+      at(0, PartitionStartFault{1, island(), /*symmetric=*/false});
+      at(22, PartitionEndFault{1});
+      break;
+    case PlanKind::kLossStorm:
+      at(0, LossStartFault{0.25});
+      at(2, DelayStartFault{20 * sim::kMillisecond, 15 * sim::kMillisecond});
+      at(4, DuplicateStartFault{1});
+      at(14, LossEndFault{});
+      at(14, DelayEndFault{});
+      at(14, DuplicateEndFault{});
+      break;
+    case PlanKind::kLeaderKill:
+      at(0, LeaderCrashFault{});
+      at(14, LeaderCrashFault{});  // the successor, mid-recovery
+      at(26, LeaderRestartFault{});
+      break;
+    case PlanKind::kPauseResume: {
+      NodeIndex a = victim();
+      // Long pause: peers time the node out; on resume it replays a stale
+      // view (it timed *them* out, too) and the directory must re-merge.
+      at(0, PauseFault{a});
+      at(20, ResumeFault{a});
+      // Short blip, well under every scheme's detection bound: nobody may
+      // declare the node dead for it.
+      at(34, PauseFault{a});
+      at(36, ResumeFault{a});
+      break;
+    }
+    case PlanKind::kUplinkFlap:
+      at(0, UplinkDownFault{0});
+      at(24, UplinkUpFault{0});
+      break;
+  }
+
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace tamp::chaos

@@ -1,0 +1,141 @@
+// Declarative fault schedules for chaos testing.
+//
+// A FaultPlan is a pure data object: a named, time-ordered list of fault
+// events against a cluster of `n` nodes, expressed in node *indices* (not
+// HostIds) so the same plan applies to any topology shape. Plans are
+// generated deterministically from a seed; the ScenarioRunner (scenario.h)
+// executes them against a live simulation and the MembershipOracle grades
+// the protocol's behaviour under them.
+//
+// Vocabulary (what the executor can do with each action):
+//  * Crash / Restart        — kill the daemon + host; restart with a new
+//                             incarnation (crash-restart churn).
+//  * Pause / Resume         — detach the host from the network without
+//                             stopping the daemon: it keeps running on
+//                             stale state and replays it on resume.
+//  * PartitionStart/End     — sever an island of nodes from the rest via
+//                             the transport FaultInjector. `symmetric`
+//                             false cuts only island→rest (asymmetric
+//                             reachability, the nastier case).
+//  * UplinkDown/UplinkUp    — administratively fail a rack/segment uplink
+//                             in the Topology (switch failure); falls back
+//                             to an injector partition on shapes with no
+//                             uplinks.
+//  * LossStart/End          — extra per-fragment loss on every path.
+//  * DelayStart/End         — fixed latency spike plus uniform jitter;
+//                             jitter > 0 reorders packets.
+//  * DuplicateStart/End     — deliver extra copies of every packet.
+//  * LeaderCrash            — kill the current level-0 leader (resolved at
+//                             fire time; lowest-id running node for the
+//                             schemes that have no leaders).
+//  * LeaderRestart          — restart the most recent LeaderCrash victim.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace tamp::chaos {
+
+using NodeIndex = size_t;  // index into the cluster's host list
+
+struct CrashFault {
+  NodeIndex node = 0;
+};
+struct RestartFault {
+  NodeIndex node = 0;
+};
+struct PauseFault {
+  NodeIndex node = 0;
+};
+struct ResumeFault {
+  NodeIndex node = 0;
+};
+struct LeaderCrashFault {};
+struct LeaderRestartFault {};
+struct PartitionStartFault {
+  int id = 0;  // matches the PartitionEndFault that heals it
+  std::vector<NodeIndex> island;
+  bool symmetric = true;  // false: only island→rest packets are cut
+};
+struct PartitionEndFault {
+  int id = 0;
+};
+struct UplinkDownFault {
+  size_t segment = 0;  // rack / segment whose uplink fails
+};
+struct UplinkUpFault {
+  size_t segment = 0;
+};
+struct LossStartFault {
+  double loss = 0.0;
+};
+struct LossEndFault {};
+struct DelayStartFault {
+  sim::Duration extra = 0;
+  sim::Duration jitter = 0;
+};
+struct DelayEndFault {};
+struct DuplicateStartFault {
+  int copies = 1;
+};
+struct DuplicateEndFault {};
+
+using FaultAction =
+    std::variant<CrashFault, RestartFault, PauseFault, ResumeFault,
+                 LeaderCrashFault, LeaderRestartFault, PartitionStartFault,
+                 PartitionEndFault, UplinkDownFault, UplinkUpFault,
+                 LossStartFault, LossEndFault, DelayStartFault, DelayEndFault,
+                 DuplicateStartFault, DuplicateEndFault>;
+
+struct FaultEvent {
+  sim::Time at = 0;
+  FaultAction action;
+};
+
+struct FaultPlan {
+  std::string name;
+  std::vector<FaultEvent> events;  // sorted by `at`
+
+  // Time of the last scheduled fault — the oracle's quiescence clock
+  // starts here.
+  sim::Time last_event_time() const;
+};
+
+// One-line human rendering of an action ("crash node 7", "partition start
+// id=1 island={0,1,2,3} asym", ...) for violation reports and logs.
+std::string describe(const FaultAction& action);
+
+// The canned adversarial schedules the chaos matrix sweeps. Every plan is a
+// deterministic function of (kind, nodes, segment_size, start, seed).
+enum class PlanKind {
+  kCrashRestart,   // random crashes, one crash-restart with new incarnation
+  kPartitionHeal,  // symmetric island partition, then heal
+  kAsymmetricCut,  // one-directional island cut, then heal
+  kLossStorm,      // heavy loss + latency spike + jitter + duplication
+  kLeaderKill,     // kill the leader, then its successor; restart the first
+  kPauseResume,    // long network pause (stale-state replay) + a short blip
+  kUplinkFlap,     // segment uplink down/up (topology-level partition)
+};
+
+inline constexpr PlanKind kAllPlanKinds[] = {
+    PlanKind::kCrashRestart, PlanKind::kPartitionHeal,
+    PlanKind::kAsymmetricCut, PlanKind::kLossStorm,
+    PlanKind::kLeaderKill,    PlanKind::kPauseResume,
+    PlanKind::kUplinkFlap,
+};
+
+const char* plan_name(PlanKind kind);
+
+// Build the canned plan `kind` for a cluster of `nodes` hosts laid out in
+// segments of `segment_size` (1 segment == single L2 domain). Faults begin
+// at `start` (after the cold-start settle) and victims/islands are chosen
+// from Rng(seed), so a (kind, nodes, segment_size, start, seed) tuple fully
+// reproduces the schedule.
+FaultPlan make_fault_plan(PlanKind kind, size_t nodes, size_t segment_size,
+                          sim::Time start, uint64_t seed);
+
+}  // namespace tamp::chaos

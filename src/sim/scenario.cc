@@ -1,0 +1,433 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+#include "net/builders.h"
+#include "protocols/oracle.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace tamp::chaos {
+
+using protocols::Scheme;
+
+const char* shape_name(ShapeKind shape) {
+  switch (shape) {
+    case ShapeKind::kSingleSegment:
+      return "single-segment";
+    case ShapeKind::kRacked:
+      return "racked";
+    case ShapeKind::kRouterChain:
+      return "router-chain";
+  }
+  return "?";
+}
+
+bool plan_applicable(Scheme scheme, PlanKind plan) {
+  if (scheme != Scheme::kGossip) return true;
+  switch (plan) {
+    case PlanKind::kPartitionHeal:
+    case PlanKind::kUplinkFlap:
+    case PlanKind::kPauseResume:
+      return false;  // symmetric split: gossip has no rejoin path
+    default:
+      return true;
+  }
+}
+
+std::string scenario_name(const ScenarioSpec& spec) {
+  return std::string(protocols::scheme_name(spec.scheme)) + "/" +
+         shape_name(spec.shape) + "/" + plan_name(spec.plan) + "/s" +
+         std::to_string(spec.seed);
+}
+
+std::string repro_command(const ScenarioSpec& spec) {
+  return std::string("bench/chaos_soak --scheme=") +
+         protocols::scheme_name(spec.scheme) +
+         " --shape=" + shape_name(spec.shape) +
+         " --plan=" + plan_name(spec.plan) +
+         " --seed=" + std::to_string(spec.seed) +
+         " --nodes=" + std::to_string(spec.nodes);
+}
+
+bool parse_scheme(const std::string& token, Scheme* out) {
+  if (token == "all-to-all" || token == "a2a" || token == "alltoall") {
+    *out = Scheme::kAllToAll;
+  } else if (token == "gossip") {
+    *out = Scheme::kGossip;
+  } else if (token == "hierarchical" || token == "hier") {
+    *out = Scheme::kHierarchical;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_shape(const std::string& token, ShapeKind* out) {
+  for (ShapeKind shape : kAllShapeKinds) {
+    if (token == shape_name(shape)) {
+      *out = shape;
+      return true;
+    }
+  }
+  if (token == "segment") {
+    *out = ShapeKind::kSingleSegment;
+    return true;
+  }
+  if (token == "chain") {
+    *out = ShapeKind::kRouterChain;
+    return true;
+  }
+  return false;
+}
+
+bool parse_plan(const std::string& token, PlanKind* out) {
+  for (PlanKind plan : kAllPlanKinds) {
+    if (token == plan_name(plan)) {
+      *out = plan;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+// The live fault state, consulted by the transport on every delivery
+// attempt. Partitions cut deterministically; loss/delay/jitter/duplication
+// windows apply to every pair.
+class ChaosController : public net::FaultInjector {
+ public:
+  Verdict verdict(net::HostId from, net::HostId to) override {
+    Verdict verdict;
+    if (cut(from, to)) {
+      verdict.cut = true;
+      return verdict;
+    }
+    verdict.extra_loss = loss_;
+    verdict.extra_delay = delay_;
+    verdict.jitter = jitter_;
+    verdict.duplicates = duplicates_;
+    return verdict;
+  }
+
+  // Directional: are packets from `from` to `to` blackholed right now?
+  bool cut(net::HostId from, net::HostId to) const {
+    for (const auto& [id, partition] : partitions_) {
+      bool from_in = partition.island.contains(from);
+      bool to_in = partition.island.contains(to);
+      if (partition.symmetric ? (from_in != to_in) : (from_in && !to_in)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void start_partition(int id, std::vector<net::HostId> island,
+                       bool symmetric) {
+    Partition partition;
+    partition.island.insert(island.begin(), island.end());
+    partition.symmetric = symmetric;
+    partitions_[id] = std::move(partition);
+  }
+  void end_partition(int id) { partitions_.erase(id); }
+
+  void set_loss(double loss) { loss_ = loss; }
+  void set_delay(sim::Duration delay, sim::Duration jitter) {
+    delay_ = delay;
+    jitter_ = jitter;
+  }
+  void set_duplicates(int copies) { duplicates_ = copies; }
+
+  bool any_active() const {
+    return !partitions_.empty() || loss_ > 0 || delay_ > 0 || jitter_ > 0 ||
+           duplicates_ > 0;
+  }
+
+ private:
+  struct Partition {
+    std::unordered_set<net::HostId> island;
+    bool symmetric = true;
+  };
+  std::map<int, Partition> partitions_;
+  double loss_ = 0.0;
+  sim::Duration delay_ = 0;
+  sim::Duration jitter_ = 0;
+  int duplicates_ = 0;
+};
+
+// Partition ids >= this are reserved for the uplink-flap fallback on shapes
+// that have no real uplinks, keyed by segment.
+constexpr int kUplinkPartitionBase = 1000;
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(const ScenarioSpec& spec)
+      : spec_(spec), sim_(spec.seed) {
+    TAMP_CHECK(spec_.nodes >= 6);
+    build_topology();
+    net_ = std::make_unique<net::Network>(sim_, topo_);
+    net_->set_fault_injector(&controller_);
+
+    protocols::Cluster::Options opts;
+    opts.scheme = spec_.scheme;
+    opts.hier.max_ttl = std::max(1, topo_.max_ttl());
+    // Faster anti-entropy keeps the post-fault repair horizon (and thus the
+    // whole matrix's wall time) short without changing the protocol.
+    opts.hier.refresh_interval = 10 * sim::kSecond;
+    cluster_ = std::make_unique<protocols::Cluster>(sim_, *net_,
+                                                    layout_.hosts, opts);
+
+    // Gossip needs the cold start to finish its O(log n) fill-in before the
+    // schedule starts grading it.
+    fault_start_ = spec_.scheme == Scheme::kGossip ? 40 * sim::kSecond
+                                                   : 15 * sim::kSecond;
+    plan_ = make_fault_plan(spec_.plan, spec_.nodes, segment_size(),
+                            fault_start_, spec_.seed);
+
+    protocols::MembershipOracle::Config oracle_config;
+    oracle_config.formation_grace = fault_start_;
+    oracle_ = std::make_unique<protocols::MembershipOracle>(
+        sim_, *net_, topo_, *cluster_, oracle_config);
+    oracle_->set_reachability([this](net::HostId from, net::HostId to) {
+      return net_->host_up(from) && net_->host_up(to) &&
+             topo_.path(from, to).reachable && !controller_.cut(from, to);
+    });
+  }
+
+  ScenarioResult run() {
+    oracle_->start();
+    cluster_->start_all();
+    for (const FaultEvent& event : plan_.events) {
+      const FaultAction* action = &event.action;
+      sim_.schedule_at(event.at, [this, action] { apply(*action); });
+    }
+    const sim::Time horizon =
+        plan_.last_event_time() + oracle_->quiesce_bound() + spec_.tail;
+    sim_.run_until(horizon);
+    oracle_->stop();
+
+    ScenarioResult result;
+    result.passed = oracle_->ok();
+    result.name = scenario_name(spec_);
+    result.repro = repro_command(spec_);
+    result.report = oracle_->report();
+    result.violation_count = oracle_->violations().size();
+    result.oracle_checks = oracle_->checks_run();
+    result.horizon = horizon;
+    result.events = sim_.events_executed();
+    result.final_converged = cluster_->converged_count();
+    result.final_running = cluster_->running_indices().size();
+    return result;
+  }
+
+ private:
+  void build_topology() {
+    switch (spec_.shape) {
+      case ShapeKind::kSingleSegment:
+        layout_ = net::build_single_segment(
+            topo_, static_cast<int>(spec_.nodes), 0, "chaos");
+        break;
+      case ShapeKind::kRacked: {
+        net::RackedClusterParams params;
+        params.racks = 3;
+        params.hosts_per_rack = static_cast<int>(spec_.nodes / 3);
+        params.name_prefix = "chaos";
+        layout_ = net::build_racked_cluster(topo_, params);
+        break;
+      }
+      case ShapeKind::kRouterChain:
+        layout_ = net::build_router_chain(
+            topo_, 3, static_cast<int>(spec_.nodes / 3), 0, "chaos");
+        break;
+    }
+  }
+
+  size_t segment_size() const {
+    return spec_.shape == ShapeKind::kSingleSegment ? layout_.hosts.size()
+                                                    : layout_.racks[0].size();
+  }
+
+  net::HostId host(NodeIndex index) const {
+    TAMP_CHECK(index < layout_.hosts.size());
+    return layout_.hosts[index];
+  }
+
+  // Hosts of segment `segment` — the uplink-flap fallback island. On the
+  // single-segment shape (one rack holding everyone) a whole-rack island
+  // would detach nobody from nobody, so mirror make_fault_plan's island
+  // rule: the first quarter of the cluster.
+  std::vector<net::HostId> segment_hosts(size_t segment) const {
+    if (layout_.racks.size() > 1 && segment < layout_.racks.size()) {
+      return layout_.racks[segment];
+    }
+    size_t count = std::max<size_t>(2, layout_.hosts.size() / 4);
+    return {layout_.hosts.begin(),
+            layout_.hosts.begin() + static_cast<ptrdiff_t>(count)};
+  }
+
+  // The node to target with leader-directed faults, resolved at fire time:
+  // for the hierarchical scheme, the running daemon leading at the highest
+  // level (the root of the membership tree; ties to the lowest id); for the
+  // leaderless schemes, the lowest-id running node.
+  size_t leader_index() const {
+    size_t best = SIZE_MAX;
+    int best_level = -1;
+    for (size_t i = 0; i < cluster_->size(); ++i) {
+      if (!cluster_->alive(i)) continue;
+      if (best == SIZE_MAX) best = i;  // lowest-id running fallback
+      protocols::HierDaemon* daemon = cluster_->hier_daemon(i);
+      if (daemon == nullptr || !daemon->running()) continue;
+      for (int level = cluster_->options().hier.max_ttl - 1;
+           level > best_level; --level) {
+        if (daemon->is_leader(level)) {
+          best_level = level;
+          best = i;
+          break;
+        }
+      }
+    }
+    TAMP_CHECK_MSG(best != SIZE_MAX, "no running node to target");
+    return best;
+  }
+
+  void crash(size_t index) {
+    if (!cluster_->alive(index)) return;  // already down: no-op
+    cluster_->kill(index);
+    oracle_->note_crash(index);
+  }
+
+  void restart_node(size_t index) {
+    if (cluster_->alive(index)) return;
+    cluster_->restart(index);
+    oracle_->note_restart(index);
+  }
+
+  void set_uplink(size_t segment, bool up) {
+    if (segment < layout_.rack_uplinks.size()) {
+      topo_.set_link_up(layout_.rack_uplinks[segment], up);
+      uplinks_down_ += up ? -1 : 1;
+    } else {
+      // No physical uplink on this shape: emulate the same reachability cut
+      // through the injector.
+      int id = kUplinkPartitionBase + static_cast<int>(segment);
+      if (up) {
+        controller_.end_partition(id);
+      } else {
+        controller_.start_partition(id, segment_hosts(segment),
+                                    /*symmetric=*/true);
+      }
+    }
+    network_changed();
+  }
+
+  void network_changed() {
+    oracle_->note_network_fault(controller_.any_active() ||
+                                uplinks_down_ > 0);
+  }
+
+  void apply(const FaultAction& action) {
+    TAMP_LOG(Debug) << "chaos " << scenario_name(spec_) << " t="
+                    << sim::format_time(sim_.now()) << ": "
+                    << describe(action);
+    std::visit(
+        Overloaded{
+            [&](const CrashFault& f) { crash(f.node); },
+            [&](const RestartFault& f) { restart_node(f.node); },
+            [&](const PauseFault& f) {
+              net_->set_host_up(host(f.node), false);
+              oracle_->note_pause(f.node);
+            },
+            [&](const ResumeFault& f) {
+              net_->set_host_up(host(f.node), true);
+              oracle_->note_resume(f.node);
+            },
+            [&](const LeaderCrashFault&) {
+              size_t index = leader_index();
+              leader_victims_.push_back(index);
+              crash(index);
+            },
+            [&](const LeaderRestartFault&) {
+              // Most recent leader victim that is still down.
+              for (auto it = leader_victims_.rbegin();
+                   it != leader_victims_.rend(); ++it) {
+                if (!cluster_->alive(*it)) {
+                  restart_node(*it);
+                  return;
+                }
+              }
+            },
+            [&](const PartitionStartFault& f) {
+              std::vector<net::HostId> island;
+              island.reserve(f.island.size());
+              for (NodeIndex index : f.island) island.push_back(host(index));
+              controller_.start_partition(f.id, std::move(island),
+                                          f.symmetric);
+              network_changed();
+            },
+            [&](const PartitionEndFault& f) {
+              controller_.end_partition(f.id);
+              network_changed();
+            },
+            [&](const UplinkDownFault& f) { set_uplink(f.segment, false); },
+            [&](const UplinkUpFault& f) { set_uplink(f.segment, true); },
+            [&](const LossStartFault& f) {
+              controller_.set_loss(f.loss);
+              network_changed();
+            },
+            [&](const LossEndFault&) {
+              controller_.set_loss(0.0);
+              network_changed();
+            },
+            [&](const DelayStartFault& f) {
+              controller_.set_delay(f.extra, f.jitter);
+              network_changed();
+            },
+            [&](const DelayEndFault&) {
+              controller_.set_delay(0, 0);
+              network_changed();
+            },
+            [&](const DuplicateStartFault& f) {
+              controller_.set_duplicates(f.copies);
+              network_changed();
+            },
+            [&](const DuplicateEndFault&) {
+              controller_.set_duplicates(0);
+              network_changed();
+            },
+        },
+        action);
+  }
+
+  ScenarioSpec spec_;
+  sim::Simulation sim_;
+  net::Topology topo_;
+  net::ClusterLayout layout_;
+  std::unique_ptr<net::Network> net_;
+  ChaosController controller_;
+  std::unique_ptr<protocols::Cluster> cluster_;
+  std::unique_ptr<protocols::MembershipOracle> oracle_;
+  FaultPlan plan_;
+  sim::Time fault_start_ = 0;
+  std::vector<size_t> leader_victims_;
+  int uplinks_down_ = 0;
+};
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  ScenarioRunner runner(spec);
+  return runner.run();
+}
+
+}  // namespace tamp::chaos

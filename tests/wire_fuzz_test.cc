@@ -3,6 +3,9 @@
 // crash, hang, or over-read — only yield nullopt or a well-formed message.
 #include <gtest/gtest.h>
 
+#include <type_traits>
+#include <variant>
+
 #include "membership/codec.h"
 #include "membership/messages.h"
 #include "service/messages.h"
@@ -136,6 +139,244 @@ TEST(WireFuzz, RandomUpdateMessagesRoundTrip) {
       EXPECT_EQ(out->records[r].entry, msg.records[r].entry);
     }
   }
+}
+
+namespace {
+
+std::string random_name(util::Rng& rng, size_t max_len) {
+  std::string s(rng.uniform_u64(max_len) + 1, 'x');
+  for (auto& c : s) c = static_cast<char>('a' + rng.uniform_u64(26));
+  return s;
+}
+
+membership::ServiceSummary random_summary(util::Rng& rng) {
+  membership::ServiceSummary summary;
+  size_t services = rng.uniform_u64(4);
+  for (size_t s = 0; s < services; ++s) {
+    auto& partitions = summary.availability[random_name(rng, 12)];
+    size_t count = rng.uniform_u64(6);
+    for (size_t p = 0; p < count; ++p) {
+      partitions[static_cast<int>(rng.uniform_u64(64))] =
+          static_cast<int>(rng.uniform_u64(100));
+    }
+  }
+  return summary;
+}
+
+}  // namespace
+
+// Proxy heartbeat / update messages (dc id + sender + seq + service summary)
+// round-trip exactly through the shared membership envelope.
+TEST(WireFuzz, RandomProxyMessagesRoundTrip) {
+  util::Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    const uint16_t dc = static_cast<uint16_t>(rng.uniform_u64(1 << 16));
+    const auto sender =
+        static_cast<membership::NodeId>(rng.uniform_u64(10000));
+    const uint64_t seq = rng.next_u64();
+    const membership::ServiceSummary summary = random_summary(rng);
+
+    membership::Message message;
+    if (rng.bernoulli(0.5)) {
+      membership::ProxyHeartbeatMsg msg;
+      msg.dc = dc;
+      msg.sender = sender;
+      msg.seq = seq;
+      msg.summary = summary;
+      message = msg;
+    } else {
+      membership::ProxyUpdateMsg msg;
+      msg.dc = dc;
+      msg.sender = sender;
+      msg.seq = seq;
+      msg.summary = summary;
+      message = msg;
+    }
+    auto payload = membership::encode_message(message);
+    auto decoded = membership::decode_message(payload->data(), payload->size());
+    ASSERT_TRUE(decoded.has_value());
+    if (const auto* heartbeat =
+            std::get_if<membership::ProxyHeartbeatMsg>(&*decoded)) {
+      EXPECT_EQ(heartbeat->dc, dc);
+      EXPECT_EQ(heartbeat->sender, sender);
+      EXPECT_EQ(heartbeat->seq, seq);
+      EXPECT_EQ(heartbeat->summary, summary);
+    } else {
+      const auto* update = std::get_if<membership::ProxyUpdateMsg>(&*decoded);
+      ASSERT_NE(update, nullptr);
+      EXPECT_EQ(update->dc, dc);
+      EXPECT_EQ(update->sender, sender);
+      EXPECT_EQ(update->seq, seq);
+      EXPECT_EQ(update->summary, summary);
+    }
+  }
+}
+
+TEST(WireFuzz, MutatedProxyMessagesNeverCrash) {
+  util::Rng rng(7);
+  membership::ProxyUpdateMsg msg;
+  msg.dc = 3;
+  msg.sender = 17;
+  msg.seq = 42;
+  msg.summary = random_summary(rng);
+  auto payload = membership::encode_message(membership::Message{msg});
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> mutated(*payload);
+    int flips = 1 + static_cast<int>(rng.uniform_u64(8));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.uniform_u64(mutated.size());
+      mutated[pos] ^= static_cast<uint8_t>(1u << rng.uniform_u64(8));
+    }
+    (void)membership::decode_message(mutated.data(), mutated.size());
+  }
+  SUCCEED();
+}
+
+// Every service-plane message variant round-trips through its envelope.
+TEST(WireFuzz, RandomServiceMessagesRoundTrip) {
+  util::Rng rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    service::ServiceMessage message;
+    switch (rng.uniform_u64(6)) {
+      case 0: {
+        service::LoadPollMsg msg;
+        msg.poll_id = rng.next_u64();
+        msg.from = static_cast<net::HostId>(rng.uniform_u64(10000));
+        msg.reply_port = static_cast<net::Port>(rng.uniform_u64(1 << 16));
+        message = msg;
+        break;
+      }
+      case 1: {
+        service::LoadReplyMsg msg;
+        msg.poll_id = rng.next_u64();
+        msg.from = static_cast<net::HostId>(rng.uniform_u64(10000));
+        msg.load = static_cast<uint32_t>(rng.next_u64());
+        message = msg;
+        break;
+      }
+      case 2: {
+        service::RequestMsg msg;
+        msg.request_id = rng.next_u64();
+        msg.reply_host = static_cast<net::HostId>(rng.uniform_u64(10000));
+        msg.reply_port = static_cast<net::Port>(rng.uniform_u64(1 << 16));
+        msg.service = random_name(rng, 20);
+        msg.partition = static_cast<int32_t>(rng.uniform_u64(1 << 16));
+        msg.request_bytes = static_cast<uint32_t>(rng.uniform_u64(1 << 20));
+        msg.response_bytes = static_cast<uint32_t>(rng.uniform_u64(1 << 20));
+        msg.relay_hops = static_cast<uint8_t>(rng.uniform_u64(4));
+        message = msg;
+        break;
+      }
+      case 3: {
+        service::ResponseMsg msg;
+        msg.request_id = rng.next_u64();
+        msg.from = static_cast<net::HostId>(rng.uniform_u64(10000));
+        msg.status =
+            static_cast<service::ResponseStatus>(rng.uniform_u64(4));
+        msg.payload_bytes = static_cast<uint32_t>(rng.uniform_u64(1 << 20));
+        message = msg;
+        break;
+      }
+      case 4: {
+        service::RelaySynMsg msg;
+        msg.conn_id = rng.next_u64();
+        msg.from = static_cast<net::HostId>(rng.uniform_u64(10000));
+        message = msg;
+        break;
+      }
+      default: {
+        service::RelayAckMsg msg;
+        msg.conn_id = rng.next_u64();
+        msg.from = static_cast<net::HostId>(rng.uniform_u64(10000));
+        message = msg;
+        break;
+      }
+    }
+
+    auto payload = service::encode_service_message(message);
+    auto decoded =
+        service::decode_service_message(payload->data(), payload->size());
+    ASSERT_TRUE(decoded.has_value());
+    ASSERT_EQ(decoded->index(), message.index());
+    std::visit(
+        [&](const auto& original) {
+          using T = std::decay_t<decltype(original)>;
+          const auto& round = std::get<T>(*decoded);
+          if constexpr (std::is_same_v<T, service::LoadPollMsg>) {
+            EXPECT_EQ(round.poll_id, original.poll_id);
+            EXPECT_EQ(round.from, original.from);
+            EXPECT_EQ(round.reply_port, original.reply_port);
+          } else if constexpr (std::is_same_v<T, service::LoadReplyMsg>) {
+            EXPECT_EQ(round.poll_id, original.poll_id);
+            EXPECT_EQ(round.from, original.from);
+            EXPECT_EQ(round.load, original.load);
+          } else if constexpr (std::is_same_v<T, service::RequestMsg>) {
+            EXPECT_EQ(round.request_id, original.request_id);
+            EXPECT_EQ(round.reply_host, original.reply_host);
+            EXPECT_EQ(round.reply_port, original.reply_port);
+            EXPECT_EQ(round.service, original.service);
+            EXPECT_EQ(round.partition, original.partition);
+            EXPECT_EQ(round.request_bytes, original.request_bytes);
+            EXPECT_EQ(round.response_bytes, original.response_bytes);
+            EXPECT_EQ(round.relay_hops, original.relay_hops);
+          } else if constexpr (std::is_same_v<T, service::ResponseMsg>) {
+            EXPECT_EQ(round.request_id, original.request_id);
+            EXPECT_EQ(round.from, original.from);
+            EXPECT_EQ(round.status, original.status);
+            EXPECT_EQ(round.payload_bytes, original.payload_bytes);
+          } else if constexpr (std::is_same_v<T, service::RelaySynMsg>) {
+            EXPECT_EQ(round.conn_id, original.conn_id);
+            EXPECT_EQ(round.from, original.from);
+          } else {
+            EXPECT_EQ(round.conn_id, original.conn_id);
+            EXPECT_EQ(round.from, original.from);
+          }
+        },
+        message);
+  }
+}
+
+TEST(WireFuzz, MutatedServiceMessagesNeverCrash) {
+  util::Rng rng(9);
+  service::RequestMsg request;
+  request.request_id = 99;
+  request.reply_host = 4;
+  request.reply_port = 700;
+  request.service = "http";
+  request.partition = 2;
+  request.request_bytes = 512;
+  request.response_bytes = 2048;
+  auto payload =
+      service::encode_service_message(service::ServiceMessage{request});
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> mutated(*payload);
+    int flips = 1 + static_cast<int>(rng.uniform_u64(8));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.uniform_u64(mutated.size());
+      mutated[pos] ^= static_cast<uint8_t>(1u << rng.uniform_u64(8));
+    }
+    (void)service::decode_service_message(mutated.data(), mutated.size());
+  }
+  SUCCEED();
+}
+
+// Truncation fuzz: every prefix of a valid encoding must decode to nullopt
+// or a well-formed message, never crash or over-read.
+TEST(WireFuzz, TruncatedMessagesNeverCrash) {
+  membership::HeartbeatMsg heartbeat;
+  heartbeat.entry = membership::make_representative_entry(5);
+  auto mpayload = membership::encode_message(membership::Message{heartbeat});
+  for (size_t len = 0; len < mpayload->size(); ++len) {
+    (void)membership::decode_message(mpayload->data(), len);
+  }
+  service::RequestMsg request;
+  request.service = "search";
+  auto spayload =
+      service::encode_service_message(service::ServiceMessage{request});
+  for (size_t len = 0; len < spayload->size(); ++len) {
+    (void)service::decode_service_message(spayload->data(), len);
+  }
+  SUCCEED();
 }
 
 }  // namespace
