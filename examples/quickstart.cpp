@@ -1,8 +1,8 @@
 // Quickstart: the membership service API end to end.
 //
 // Builds a 2-rack / 8-node simulated cluster, starts an MService daemon on
-// every node from the paper's example configuration file, looks the cluster
-// up through MClient, then kills a node and watches the directory converge.
+// every node from a validated MembershipConfig, looks the cluster up
+// through MClient, then kills a node and watches the directory converge.
 //
 //   ./examples/quickstart
 #include <cstdio>
@@ -14,21 +14,6 @@
 using namespace tamp;
 
 namespace {
-
-constexpr char kConfig[] = R"(
-*SYSTEM
-SHM_KEY = 999
-MAX_TTL = 4
-MCAST_ADDR = 239.255.0.2
-MCAST_PORT = 10050
-MCAST_FREQ = 1
-MAX_LOSS = 5
-
-*SERVICE
-[HTTP]
-    PARTITION = 0
-    Port = 8080
-)";
 
 void show_directory(const api::MClient& client, const char* label) {
   api::MachineList machines;
@@ -57,12 +42,27 @@ int main() {
   net::Network net(sim, topo);
   api::DirectoryStore store;
 
-  // One membership daemon per node, all from the same configuration file
-  // (paper Section 5: "all nodes share the same configuration file").
+  // One validated configuration shared by every node (paper Section 5:
+  // "all nodes share the same configuration file").
+  api::MembershipConfig config;
+  api::Status built = api::MembershipConfigBuilder()
+                          .shm_key(999)
+                          .max_ttl(4)
+                          .mcast_addr("239.255.0.2")
+                          .mcast_port(10050)
+                          .mcast_freq(1.0)
+                          .max_loss(5)
+                          .add_service("HTTP", "0", {{"Port", "8080"}})
+                          .Build(&config);
+  if (!built.ok()) {
+    std::printf("configuration rejected: %s\n", built.message().c_str());
+    return 1;
+  }
+
   std::vector<std::unique_ptr<api::MService>> services;
   for (net::HostId host : layout.hosts) {
     services.push_back(
-        std::make_unique<api::MService>(sim, net, store, host, kConfig));
+        std::make_unique<api::MService>(sim, net, store, host, config));
     services.back()->run();
   }
 
@@ -75,6 +75,19 @@ int main() {
 
   api::MClient client(store, layout.hosts[0], /*shm_key=*/999);
   show_directory(client, "after formation");
+
+  // The typed control API exposes the leadership view: which levels this
+  // node joined, who leads them, and at what epoch.
+  api::ControlResponse view = services[0]->control(api::LeadershipQuery{});
+  std::printf("node %u (incarnation %llu) leadership view:\n",
+              layout.hosts[0],
+              static_cast<unsigned long long>(view.incarnation));
+  for (const auto& info : view.leadership) {
+    if (!info.joined) continue;
+    std::printf("  level %d: leader=%u epoch=%llu%s\n", info.level,
+                info.leader, static_cast<unsigned long long>(info.epoch),
+                info.is_leader ? " (this node)" : "");
+  }
 
   api::MachineList retrievers;
   int hits = client.lookup_service("Retriever", "2", &retrievers);

@@ -135,6 +135,99 @@ std::optional<MembershipConfig> parse_config(std::string_view text,
   return config;
 }
 
+MembershipConfigBuilder MembershipConfigBuilder::FromText(
+    std::string_view text) {
+  MembershipConfigBuilder builder;
+  auto parsed = parse_config(text, &builder.parse_error_);
+  if (parsed) builder.config_ = std::move(*parsed);
+  return builder;
+}
+
+MembershipConfigBuilder& MembershipConfigBuilder::replace(
+    MembershipConfig config) {
+  config_ = std::move(config);
+  parse_error_.clear();
+  return *this;
+}
+
+MembershipConfigBuilder& MembershipConfigBuilder::shm_key(int key) {
+  config_.system.shm_key = key;
+  return *this;
+}
+MembershipConfigBuilder& MembershipConfigBuilder::max_ttl(int ttl) {
+  config_.system.max_ttl = ttl;
+  return *this;
+}
+MembershipConfigBuilder& MembershipConfigBuilder::mcast_addr(std::string addr) {
+  config_.system.mcast_addr = std::move(addr);
+  return *this;
+}
+MembershipConfigBuilder& MembershipConfigBuilder::mcast_port(int port) {
+  config_.system.mcast_port = port;
+  return *this;
+}
+MembershipConfigBuilder& MembershipConfigBuilder::mcast_freq(
+    double heartbeats_per_second) {
+  config_.system.mcast_freq = heartbeats_per_second;
+  return *this;
+}
+MembershipConfigBuilder& MembershipConfigBuilder::max_loss(
+    int consecutive_losses) {
+  config_.system.max_loss = consecutive_losses;
+  return *this;
+}
+MembershipConfigBuilder& MembershipConfigBuilder::add_service(
+    std::string name, std::string partition_spec,
+    std::map<std::string, std::string> params) {
+  ServiceConfig service;
+  service.name = std::move(name);
+  service.partition_spec = std::move(partition_spec);
+  service.params = std::move(params);
+  config_.services.push_back(std::move(service));
+  return *this;
+}
+
+Status MembershipConfigBuilder::Build(MembershipConfig* out) const {
+  if (!parse_error_.empty()) {
+    return Status::Error("configuration file: " + parse_error_);
+  }
+  const SystemConfig& sys = config_.system;
+  if (sys.max_ttl < 1 || sys.max_ttl > 250) {
+    return Status::Error(
+        strformat("MAX_TTL must be in [1, 250], got %d", sys.max_ttl));
+  }
+  if (sys.mcast_freq <= 0) {
+    return Status::Error("MCAST_FREQ must be positive");
+  }
+  if (sys.max_loss < 1) {
+    return Status::Error(
+        strformat("MAX_LOSS must be >= 1, got %d", sys.max_loss));
+  }
+  if (sys.mcast_port < 1 || sys.mcast_port > 65534) {
+    // +1 is the daemon's control port, so 65535 is excluded too.
+    return Status::Error(
+        strformat("MCAST_PORT must be in [1, 65534], got %d", sys.mcast_port));
+  }
+  if (sys.mcast_addr.empty()) {
+    return Status::Error("MCAST_ADDR must not be empty");
+  }
+  for (const auto& service : config_.services) {
+    if (service.name.empty()) {
+      return Status::Error("service name must not be empty");
+    }
+    // expand_partition_spec yields nullopt for "*"/empty (meaning "default")
+    // and an empty vector for a spec that failed to parse.
+    auto partitions = util::expand_partition_spec(service.partition_spec);
+    if (partitions && partitions->empty()) {
+      return Status::Error("service " + service.name +
+                           ": malformed PARTITION spec '" +
+                           service.partition_spec + "'");
+    }
+  }
+  *out = config_;
+  return Status::Ok();
+}
+
 net::ChannelId channel_for_mcast_addr(std::string_view addr) {
   // FNV-1a over the address text, folded into a private channel range well
   // away from the small literal ids used elsewhere.

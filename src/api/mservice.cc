@@ -8,6 +8,15 @@ namespace tamp::api {
 
 MService::MService(sim::Simulation& sim, net::Network& net,
                    DirectoryStore& store, net::HostId self,
+                   MembershipConfig config)
+    : sim_(sim),
+      net_(net),
+      store_(store),
+      self_(self),
+      config_(std::move(config)) {}
+
+MService::MService(sim::Simulation& sim, net::Network& net,
+                   DirectoryStore& store, net::HostId self,
                    const std::string& configuration)
     : sim_(sim), net_(net), store_(store), self_(self) {
   auto parsed = parse_config(configuration, &config_error_);
@@ -18,22 +27,54 @@ MService::MService(sim::Simulation& sim, net::Network& net,
 
 MService::~MService() { shutdown(); }
 
-void MService::control(ControlCommand cmd, double arg) {
-  TAMP_CHECK_MSG(daemon_ == nullptr, "control() must precede run()");
-  switch (cmd) {
-    case ControlCommand::kSetFrequency:
-      TAMP_CHECK(arg > 0);
-      config_.system.mcast_freq = arg;
-      break;
-    case ControlCommand::kSetMaxLoss:
-      TAMP_CHECK(arg >= 1);
-      config_.system.max_loss = static_cast<int>(arg);
-      break;
-    case ControlCommand::kSetMaxTtl:
-      TAMP_CHECK(arg >= 1);
-      config_.system.max_ttl = static_cast<int>(arg);
-      break;
+ControlResponse MService::control(const ControlRequest& request) {
+  ControlResponse response;
+  // Parameter changes re-validate the whole configuration through the
+  // builder, so control() can never push the daemon somewhere the
+  // construction path would have refused.
+  auto apply = [&](MembershipConfig candidate) {
+    if (daemon_ != nullptr) {
+      response.status =
+          Status::Error("parameter changes must precede run()");
+      return;
+    }
+    MembershipConfigBuilder builder;
+    builder.replace(std::move(candidate));
+    MembershipConfig validated;
+    response.status = builder.Build(&validated);
+    if (response.status.ok()) config_ = std::move(validated);
+  };
+
+  if (const auto* freq = std::get_if<SetFrequencyRequest>(&request)) {
+    MembershipConfig candidate = config_;
+    candidate.system.mcast_freq = freq->heartbeats_per_second;
+    apply(std::move(candidate));
+  } else if (const auto* loss = std::get_if<SetMaxLossRequest>(&request)) {
+    MembershipConfig candidate = config_;
+    candidate.system.max_loss = loss->consecutive_losses;
+    apply(std::move(candidate));
+  } else if (const auto* ttl = std::get_if<SetMaxTtlRequest>(&request)) {
+    MembershipConfig candidate = config_;
+    candidate.system.max_ttl = ttl->max_ttl;
+    apply(std::move(candidate));
+  } else {  // LeadershipQuery
+    if (daemon_ == nullptr || !daemon_->running()) {
+      response.status = Status::Error("leadership query requires run()");
+      return response;
+    }
+    response.incarnation = daemon_->own_entry().incarnation;
+    for (int level = 0; level < config_.system.max_ttl; ++level) {
+      LeadershipInfo info;
+      info.level = level;
+      info.joined = daemon_->joined(level);
+      info.is_leader = daemon_->is_leader(level);
+      info.leader = daemon_->leader_of(level);
+      info.backup = daemon_->backup_of(level);
+      info.epoch = daemon_->epoch_of(level);
+      response.leadership.push_back(info);
+    }
   }
+  return response;
 }
 
 int MService::run() {

@@ -19,25 +19,71 @@
 
 #include <memory>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include "api/config.h"
 #include "api/directory_store.h"
+#include "api/status.h"
 #include "protocols/hier.h"
 
 namespace tamp::api {
 
-enum class ControlCommand {
-  kSetFrequency,   // arg: heartbeats per second (double)
-  kSetMaxLoss,     // arg: consecutive losses before death (int)
-  kSetMaxTtl,      // arg: formation TTL ceiling (int)
+// --- control surface (v2) --------------------------------------------------
+//
+// The paper's `control(int cmd, void *arg)` became an enum + double in v1;
+// v2 replaces it with typed, versioned request/response structs. Parameter
+// changes are requests validated before run(); observability requests work
+// on the live daemon and expose what v1 could not: per-level leadership
+// epochs and the node's incarnation — the provenance coordinates every
+// relayed record is now fenced by.
+inline constexpr int kControlApiVersion = 2;
+
+struct SetFrequencyRequest {
+  double heartbeats_per_second = 1.0;  // MCAST_FREQ
+};
+struct SetMaxLossRequest {
+  int consecutive_losses = 5;  // MAX_LOSS
+};
+struct SetMaxTtlRequest {
+  int max_ttl = 4;  // formation TTL ceiling
+};
+// Snapshot the daemon's per-level leadership view (requires run()).
+struct LeadershipQuery {};
+
+using ControlRequest = std::variant<SetFrequencyRequest, SetMaxLossRequest,
+                                    SetMaxTtlRequest, LeadershipQuery>;
+
+// One level of the hierarchy as the local daemon sees it.
+struct LeadershipInfo {
+  int level = 0;
+  bool joined = false;
+  bool is_leader = false;
+  membership::NodeId leader = membership::kInvalidNode;
+  membership::NodeId backup = membership::kInvalidNode;
+  // Highest leadership epoch known for the level (the node's own minted
+  // epoch where is_leader).
+  membership::Epoch epoch = 0;
+};
+
+struct ControlResponse {
+  int version = kControlApiVersion;
+  Status status;
+  // Filled for LeadershipQuery (empty otherwise):
+  membership::Incarnation incarnation = 0;  // the node's own incarnation
+  std::vector<LeadershipInfo> leadership;   // one entry per level
 };
 
 class MService {
  public:
-  // Parses `configuration` (Figure-7 format). A malformed file falls back
-  // to defaults, like the paper's implementation ("if the configuration
-  // file is not available, default values will be used"); `config_error()`
-  // reports what went wrong.
+  // The validated construction path: build the configuration with
+  // MembershipConfigBuilder (or take a parsed one) and hand it over.
+  MService(sim::Simulation& sim, net::Network& net, DirectoryStore& store,
+           net::HostId self, MembershipConfig config);
+  // Figure-7 fidelity path: parses `configuration`. A malformed file falls
+  // back to defaults, like the paper's implementation ("if the
+  // configuration file is not available, default values will be used");
+  // `config_error()` reports what went wrong.
   MService(sim::Simulation& sim, net::Network& net, DirectoryStore& store,
            net::HostId self, const std::string& configuration);
   ~MService();
@@ -45,8 +91,11 @@ class MService {
   MService(const MService&) = delete;
   MService& operator=(const MService&) = delete;
 
-  // Adjust parameters before run(); mirrors the paper's `control`.
-  void control(ControlCommand cmd, double arg);
+  // Typed control: parameter requests must precede run() and are validated
+  // through the same rules as MembershipConfigBuilder::Build; queries
+  // require a running daemon. Never asserts — rejections come back in
+  // `status`.
+  ControlResponse control(const ControlRequest& request);
 
   // Start the membership daemon, publish the directory segment, and
   // register the services from the configuration file. Returns 0 on

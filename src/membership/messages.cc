@@ -59,17 +59,20 @@ struct Encoder {
     w.u8(m.leaving ? 1 : 0);
     w.u32(m.backup);
     w.u64(m.seq);
+    w.varint(m.epoch);
   }
   void operator()(const UpdateMsg& m) {
     w.u8(static_cast<uint8_t>(MessageType::kUpdate));
     w.u32(m.origin);
     w.u64(m.origin_incarnation);
+    w.varint(m.epoch);
     w.varint(m.records.size());
     for (const auto& record : m.records) {
       w.u64(record.seq);
       w.u8(static_cast<uint8_t>(record.kind));
       w.u32(record.subject);
       w.u64(record.incarnation);
+      w.varint(record.epoch);
       w.u8(record.entry.has_value() ? 1 : 0);
       if (record.entry) encode_entry(w, *record.entry);
     }
@@ -77,11 +80,16 @@ struct Encoder {
   void operator()(const BootstrapRequestMsg& m) {
     w.u8(static_cast<uint8_t>(MessageType::kBootstrapRequest));
     w.u32(m.requester);
+    w.u8(m.level);
+    w.varint(m.epoch);
     encode_entries(w, m.known);
   }
   void operator()(const BootstrapResponseMsg& m) {
     w.u8(static_cast<uint8_t>(MessageType::kBootstrapResponse));
     w.u32(m.responder);
+    w.u64(m.responder_incarnation);
+    w.u8(m.level);
+    w.varint(m.epoch);
     encode_entries(w, m.entries);
   }
   void operator()(const SyncRequestMsg& m) {
@@ -89,6 +97,7 @@ struct Encoder {
     w.u32(m.requester);
     w.u8(m.level);
     w.u64(m.last_seq_seen);
+    w.varint(m.epoch);
   }
   void operator()(const SyncResponseMsg& m) {
     w.u8(static_cast<uint8_t>(MessageType::kSyncResponse));
@@ -96,6 +105,7 @@ struct Encoder {
     w.u64(m.responder_incarnation);
     w.u8(m.level);
     w.u64(m.stream_seq);
+    w.varint(m.epoch);
     encode_entries(w, m.entries);
   }
   void operator()(const ElectionMsg& m) {
@@ -113,6 +123,10 @@ struct Encoder {
     w.u32(m.leader);
     w.u8(m.level);
     w.u32(m.backup);
+    w.varint(m.epoch);
+    w.u32(m.prev);
+    w.u64(m.leader_incarnation);
+    w.u64(m.prev_incarnation);
   }
   void operator()(const GossipMsg& m) {
     w.u8(static_cast<uint8_t>(MessageType::kGossip));
@@ -143,6 +157,7 @@ struct Encoder {
 
 net::Payload encode_message(const Message& message, size_t pad_to) {
   WireWriter w;
+  w.u8(kWireVersionByte);
   std::visit(Encoder{w}, message);
   if (pad_to > 0) w.pad_to(pad_to);
   return net::make_payload(w.take());
@@ -151,6 +166,10 @@ net::Payload encode_message(const Message& message, size_t pad_to) {
 std::optional<Message> decode_message(const uint8_t* data, size_t size) {
   if (data == nullptr || size == 0) return std::nullopt;
   WireReader r(data, size);
+  // Version gate: v1 frames began with a bare MessageType byte (1..12),
+  // which can never equal the tagged version byte — old frames are rejected
+  // here rather than misparsed further down.
+  if (r.u8() != kWireVersionByte) return std::nullopt;
   auto type = static_cast<MessageType>(r.u8());
   switch (type) {
     case MessageType::kHeartbeat: {
@@ -163,6 +182,7 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
       m.leaving = r.u8() != 0;
       m.backup = r.u32();
       m.seq = r.u64();
+      m.epoch = r.varint();
       if (!r.ok()) return std::nullopt;
       return m;
     }
@@ -170,6 +190,7 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
       UpdateMsg m;
       m.origin = r.u32();
       m.origin_incarnation = r.u64();
+      m.epoch = r.varint();
       uint64_t n = r.varint();
       for (uint64_t i = 0; i < n && r.ok(); ++i) {
         UpdateRecord record;
@@ -181,6 +202,7 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
         }
         record.subject = r.u32();
         record.incarnation = r.u64();
+        record.epoch = r.varint();
         if (r.u8() != 0) {
           auto entry = decode_entry(r);
           if (!entry) return std::nullopt;
@@ -194,12 +216,17 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
     case MessageType::kBootstrapRequest: {
       BootstrapRequestMsg m;
       m.requester = r.u32();
+      m.level = r.u8();
+      m.epoch = r.varint();
       if (!decode_entries(r, m.known)) return std::nullopt;
       return m;
     }
     case MessageType::kBootstrapResponse: {
       BootstrapResponseMsg m;
       m.responder = r.u32();
+      m.responder_incarnation = r.u64();
+      m.level = r.u8();
+      m.epoch = r.varint();
       if (!decode_entries(r, m.entries)) return std::nullopt;
       return m;
     }
@@ -208,6 +235,7 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
       m.requester = r.u32();
       m.level = r.u8();
       m.last_seq_seen = r.u64();
+      m.epoch = r.varint();
       if (!r.ok()) return std::nullopt;
       return m;
     }
@@ -217,6 +245,7 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
       m.responder_incarnation = r.u64();
       m.level = r.u8();
       m.stream_seq = r.u64();
+      m.epoch = r.varint();
       if (!decode_entries(r, m.entries)) return std::nullopt;
       return m;
     }
@@ -239,6 +268,10 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
       m.leader = r.u32();
       m.level = r.u8();
       m.backup = r.u32();
+      m.epoch = r.varint();
+      m.prev = r.u32();
+      m.leader_incarnation = r.u64();
+      m.prev_incarnation = r.u64();
       if (!r.ok()) return std::nullopt;
       return m;
     }

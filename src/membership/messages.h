@@ -33,6 +33,15 @@ enum class MessageType : uint8_t {
   kProxyUpdate = 12,
 };
 
+// Wire format versioning. Every frame starts with a tagged version byte;
+// the high nibble is a fixed magic so the byte can never collide with a
+// bare v1 MessageType (1..12), which was the first byte of the epoch-less
+// v1 format. A v1 frame therefore fails the version check outright — it is
+// rejected, never misparsed as a v2 frame (and vice versa).
+inline constexpr uint8_t kWireVersionTag = 0xA0;   // high-nibble magic
+inline constexpr uint8_t kWireVersion = 2;         // current format revision
+inline constexpr uint8_t kWireVersionByte = kWireVersionTag | kWireVersion;
+
 // Periodic liveness + node description. The all-to-all protocol uses only
 // `entry`; the hierarchical protocol adds group metadata: the sender's role
 // on the channel the packet was multicast on, its backup designation, and
@@ -48,6 +57,10 @@ struct HeartbeatMsg {
   // otherwise quiet period is noticed within one heartbeat period instead
   // of waiting for the next update to expose the gap.
   uint64_t seq = 0;
+  // Highest leadership epoch the sender knows for this channel's group (its
+  // own minted epoch when is_leader). A leader-flagged heartbeat with an
+  // epoch older than the receiver's is a stale leadership claim.
+  Epoch epoch = 0;
 };
 
 // One membership change. Joins carry the full entry; leaves carry the
@@ -59,6 +72,10 @@ struct UpdateRecord {
   UpdateKind kind = UpdateKind::kJoin;
   NodeId subject = kInvalidNode;
   Incarnation incarnation = 0;
+  // Leadership epoch of the emitting channel at the time the record was
+  // stamped into the origin's stream. A piggybacked leave stamped under a
+  // superseded epoch is stale replay and must not purge anyone.
+  Epoch epoch = 0;
   std::optional<EntryData> entry;  // present for joins
 };
 
@@ -71,6 +88,9 @@ struct UpdateRecord {
 struct UpdateMsg {
   NodeId origin = kInvalidNode;
   Incarnation origin_incarnation = 0;
+  // The origin's view of the target channel's leadership epoch at send
+  // time; receivers reject the whole message when it is older than theirs.
+  Epoch epoch = 0;
   std::vector<UpdateRecord> records;
 };
 
@@ -79,12 +99,20 @@ struct UpdateMsg {
 // leader bringing a whole subtree with it (paper Bootstrap protocol).
 struct BootstrapRequestMsg {
   NodeId requester = kInvalidNode;
+  uint8_t level = 0;   // channel the requester is bootstrapping on
+  Epoch epoch = 0;     // requester's known leadership epoch for that level
   std::vector<EntryData> known;
 };
 
 struct BootstrapResponseMsg {
   NodeId responder = kInvalidNode;
+  uint8_t level = 0;   // echoed from the request
+  Epoch epoch = 0;     // responder's leadership epoch for that level
   std::vector<EntryData> entries;
+  // Scopes the requester's stale-image fence to the responder's life: an
+  // image from a restarted responder is fresh even if its old life's
+  // leadership was superseded.
+  Incarnation responder_incarnation = 0;
 };
 
 // Receiver detected an unrecoverable update-stream gap and asks the sender
@@ -95,6 +123,7 @@ struct SyncRequestMsg {
   NodeId requester = kInvalidNode;
   uint8_t level = 0;
   uint64_t last_seq_seen = 0;
+  Epoch epoch = 0;  // requester's known leadership epoch for `level`
 };
 
 struct SyncResponseMsg {
@@ -102,6 +131,9 @@ struct SyncResponseMsg {
   Incarnation responder_incarnation = 0;
   uint8_t level = 0;
   uint64_t stream_seq = 0;  // responder's current update seq on `level`
+  // Responder's leadership epoch for `level`: a full image from a node with
+  // superseded leadership knowledge must not drive reconciliation removals.
+  Epoch epoch = 0;
   std::vector<EntryData> entries;
 };
 
@@ -118,6 +150,19 @@ struct CoordinatorMsg {
   NodeId leader = kInvalidNode;
   uint8_t level = 0;
   NodeId backup = kInvalidNode;
+  // Epoch minted at become_leader(). Epochs are only comparable within one
+  // leadership lineage (groups sharing a channel mint independently), so
+  // receivers do not compare epochs across arbitrary senders; instead the
+  // announcement names the leader it succeeded (`prev`), and receivers
+  // record that prev's claims below this epoch are superseded — the fence
+  // that stops a resumed stale leader from replaying its old leadership.
+  Epoch epoch = 0;
+  NodeId prev = kInvalidNode;  // leader this announcement supersedes
+  // Incarnations scope the succession to the lives involved: `prev`'s
+  // fenced life (a later restart of the same node is a new lineage and not
+  // fenced), and the announcer's own (so its claim survives its restarts).
+  Incarnation leader_incarnation = 0;
+  Incarnation prev_incarnation = 0;
 };
 
 // Gossip: the sender's full local view (one record per known node), which is

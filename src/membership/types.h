@@ -25,6 +25,13 @@ inline constexpr NodeId kInvalidNode = net::kInvalidHost;
 // information about an older incarnation of a restarted node.
 using Incarnation = uint64_t;
 
+// Leadership epoch: a per-(level, group) counter minted each time a node
+// becomes leader of the group. Orthogonal to Incarnation — a node paused
+// and resumed keeps its incarnation, but the leadership it held may have
+// been superseded in the meantime. Traffic carrying an older epoch than
+// the locally known leadership for the level is stale replay and fenced.
+using Epoch = uint64_t;
+
 // One exported service instance: name plus the data partitions this node
 // hosts for it, plus service-specific parameters (e.g. HTTP "Port").
 struct ServiceRegistration {

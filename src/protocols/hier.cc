@@ -127,6 +127,7 @@ void HierDaemon::join_level(int level) {
   LevelState& ls = level_state(level);
   if (ls.joined) return;
   ls.joined = true;
+  ls.last_received = sim_.now();  // deafness clock starts at (re)join
   net_.join_group(self_, channel_of(level));
   send_heartbeat(level);
   // Paper bootstrap: listen for a leader flag first; elect only if the
@@ -160,8 +161,12 @@ void HierDaemon::leave_levels_from(int level, bool announce) {
     ls.my_backup = membership::kInvalidNode;
     ls.electing = false;
     ls.answered = false;
+    ls.prev_leader = membership::kInvalidNode;
+    ls.prev_leader_incarnation = 0;
     ls.in_seq.clear();
     ls.out_log.clear();
+    // `superseded` intentionally NOT reset: succession knowledge, like the
+    // epoch itself, must never regress within one daemon lifetime.
     // out_seq intentionally NOT reset: receivers' per-origin cursors must
     // never observe a sequence regression.
     ls.listen_timer->cancel();
@@ -205,6 +210,11 @@ std::vector<NodeId> HierDaemon::group_members(int level) const {
   if (!joined(level)) return out;
   for (const auto& [node, info] : levels_[level]->members) out.push_back(node);
   return out;
+}
+
+membership::Epoch HierDaemon::epoch_of(int level) const {
+  if (level < 0 || level >= config_.max_ttl) return 0;
+  return levels_[level]->epoch;
 }
 
 // --- periodic work ------------------------------------------------------------
@@ -259,6 +269,7 @@ void HierDaemon::send_heartbeat(int level) {
   heartbeat.is_leader = ls.i_am_leader;
   heartbeat.backup = ls.my_backup;
   heartbeat.seq = ls.out_seq;
+  heartbeat.epoch = ls.epoch;
   net_.send_multicast(self_, channel_of(level), ttl_of(level),
                       config_.data_port,
                       encode_message(heartbeat, config_.heartbeat_pad));
@@ -294,6 +305,11 @@ void HierDaemon::on_member_dead(int level, NodeId member) {
   auto it = ls.members.find(member);
   if (it == ls.members.end()) return;
   const bool was_leader = it->second.is_leader || ls.leader == member;
+  // Capture the dying life's incarnation before the table entry goes: the
+  // succession fence must name the life that was lost, not a later restart.
+  const auto* lost_entry = table_.find(member);
+  const Incarnation lost_incarnation =
+      lost_entry ? lost_entry->data.incarnation : 0;
   ls.members.erase(it);
 
   TAMP_LOG(Info) << "hier node " << self_ << " detects member " << member
@@ -304,24 +320,30 @@ void HierDaemon::on_member_dead(int level, NodeId member) {
   }
 
   if (!heard_directly(member)) {
-    const auto* entry = table_.find(member);
-    Incarnation incarnation = entry ? entry->data.incarnation : 0;
-    if (table_.remove(member, incarnation, sim_.now())) {
+    if (table_.remove(member, lost_incarnation, sim_.now())) {
       notify(member, false);
-      relay_record(make_leave_record(member, incarnation), level);
+      relay_record(make_leave_record(member, lost_incarnation), level);
     }
     // Paper Timeout protocol: a dead node detected at level > 0 takes the
     // membership information it relayed with it (partition detection). A
     // dead *level-0* leader does not: the backup/new leader re-seeds the
     // group within the (larger) higher-level timeouts, so instant purging
     // would only cause view flapping; orphan expiry is the backstop.
-    if (level > 0) purge_dependents(member, level);
+    if (level > 0) purge_dependents(member, level, ls.epoch);
   }
 
-  if (was_leader) handle_leader_loss(level, member);
+  if (was_leader) handle_leader_loss(level, member, lost_incarnation);
 }
 
-void HierDaemon::purge_dependents(NodeId dead, int arrival_level) {
+void HierDaemon::purge_dependents(NodeId dead, int arrival_level,
+                                  membership::Epoch trigger_epoch) {
+  // A purge established under a leadership epoch that has since been
+  // superseded is acting on stale knowledge: the new leadership's refresh
+  // is re-seeding exactly the entries this purge would remove.
+  if (trigger_epoch < level_state(arrival_level).epoch) {
+    ++stats_.stale_epoch_rejects;
+    return;
+  }
   // Worklist: purging one relay may orphan entries relayed by the purged
   // node in turn (multi-hop chains).
   std::vector<NodeId> worklist{dead};
@@ -363,6 +385,19 @@ void HierDaemon::on_data_packet(const net::Packet& packet) {
   if (level < 0 || !levels_[level]->joined) return;
   auto message = decode_message(packet);
   if (!message) return;
+  // Resurfacing check: a deafness gap exceeding this level's own failure
+  // timeout means every peer has, by the same clock, timed us out and moved
+  // on. Whatever we stamped into the out-log while cut off (chiefly the
+  // leaves of nodes we could no longer hear) describes a world that no
+  // longer exists — drop it rather than replay it through the piggyback.
+  LevelState& arrival = *levels_[level];
+  const sim::Time arrived = sim_.now();
+  if (arrival.last_received > 0 && !arrival.out_log.empty() &&
+      arrived - arrival.last_received > level_timeout(level)) {
+    arrival.out_log.clear();
+    ++stats_.deaf_backlogs_dropped;
+  }
+  arrival.last_received = arrived;
   std::visit(
       [&](auto&& msg) {
         using T = std::decay_t<decltype(msg)>;
@@ -386,23 +421,31 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
       [&](auto&& msg) {
         using T = std::decay_t<decltype(msg)>;
         if constexpr (std::is_same_v<T, BootstrapRequestMsg>) {
+          const int req_level =
+              msg.level < config_.max_ttl ? static_cast<int>(msg.level) : 0;
           // Symmetric exchange: absorb what the newcomer knows (it may be a
           // lower-level leader bringing a subtree), then send our view.
           absorb_entries(msg.known, msg.requester, 0);
           ++stats_.bootstraps_served;
           BootstrapResponseMsg response;
           response.responder = self_;
+          response.responder_incarnation = own_.incarnation;
+          response.level = static_cast<uint8_t>(req_level);
+          response.epoch = levels_[req_level]->epoch;
           response.entries = full_view();
           net_.send_unicast(self_,
                             net::Address{msg.requester, config_.control_port},
                             encode_message(response));
         } else if constexpr (std::is_same_v<T, BootstrapResponseMsg>) {
-          int arrival = 0;
-          for (int l = 0; l < config_.max_ttl; ++l) {
-            if (levels_[l]->joined && levels_[l]->leader == msg.responder) {
-              arrival = l;
-              break;
-            }
+          const int arrival =
+              msg.level < config_.max_ttl ? static_cast<int>(msg.level) : 0;
+          // A full image from a responder whose leadership of this channel
+          // was superseded is itself stale: don't absorb it, the live
+          // leader's traffic is already re-seeding us.
+          if (fenced_stale(*levels_[arrival], msg.responder, msg.epoch,
+                           msg.responder_incarnation)) {
+            ++stats_.stale_epoch_rejects;
+            return;
           }
           absorb_entries(msg.entries, msg.responder, arrival);
         } else if constexpr (std::is_same_v<T, SyncRequestMsg>) {
@@ -411,8 +454,12 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
           response.responder = self_;
           response.responder_incarnation = own_.incarnation;
           response.level = msg.level;
-          if (msg.level < config_.max_ttl && levels_[msg.level]->joined) {
-            response.stream_seq = levels_[msg.level]->out_seq;
+          if (msg.level < config_.max_ttl) {
+            const int req_level = static_cast<int>(msg.level);
+            if (levels_[req_level]->joined) {
+              response.stream_seq = levels_[req_level]->out_seq;
+            }
+            response.epoch = levels_[req_level]->epoch;
           }
           response.entries = full_view();
           net_.send_unicast(self_,
@@ -421,6 +468,15 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
         } else if constexpr (std::is_same_v<T, SyncResponseMsg>) {
           int level = msg.level;
           if (level < config_.max_ttl && levels_[level]->joined) {
+            // Reconciliation removes entries, so it must never run against
+            // the image of a responder whose leadership of this channel was
+            // superseded (a resumed stale leader serves a view missing most
+            // of the cluster).
+            if (fenced_stale(*levels_[level], msg.responder, msg.epoch,
+                             msg.responder_incarnation)) {
+              ++stats_.stale_epoch_rejects;
+              return;
+            }
             // The image covers everything up to the responder's current
             // stream position: re-anchor our cursor there.
             auto& in_seq = levels_[level]->in_seq;
@@ -472,8 +528,29 @@ void HierDaemon::on_heartbeat(int level, const HeartbeatMsg& msg) {
     return;
   }
 
+  // Epoch bookkeeping. Epochs are lineage-scoped — overlapping groups
+  // sharing this channel mint independently, so a bigger number from an
+  // arbitrary sender proves nothing by itself. A claim is stale only when
+  // our succession record says this claimant's *current life* was already
+  // superseded at that epoch (a restarted claimant is a fresh lineage);
+  // supersession of *our own* leadership likewise requires a direct claim
+  // (leader flag / COORDINATOR), never second-hand member gossip.
+  const bool stale_claim =
+      msg.is_leader &&
+      fenced_stale(ls, sender, msg.epoch, msg.entry.incarnation);
+  if (msg.is_leader && !stale_claim) {
+    if (msg.epoch > ls.epoch) adopt_epoch(level, msg.epoch, sender);
+  } else if (!msg.is_leader && !ls.i_am_leader && msg.epoch > ls.epoch) {
+    // Member gossip raises the channel-history watermark (so a later mint
+    // lands above it) but carries no supersession authority.
+    ls.epoch = msg.epoch;
+  }
+
   const bool added_member = !ls.members.contains(sender);
-  ls.members[sender] = MemberInfo{now, msg.is_leader, msg.backup};
+  // A stale claimant is still a live member; just don't record it as a
+  // leader, or its presence would suppress a genuinely needed election.
+  ls.members[sender] = MemberInfo{now, msg.is_leader && !stale_claim,
+                                  msg.backup};
 
   ApplyResult result = table_.apply(msg.entry, Liveness::kDirect,
                                     membership::kInvalidNode, now);
@@ -496,10 +573,22 @@ void HierDaemon::on_heartbeat(int level, const HeartbeatMsg& msg) {
     request_sync(level, sender, cursor->second.seq);
   }
 
-  if (msg.is_leader) {
+  if (stale_claim) {
+    // Reject the claim: don't adopt the sender as leader, don't yield to
+    // it, don't pull its (stale) image. If we hold the live leadership,
+    // repel it — assert the current epoch and re-seed the claimant's view
+    // so it abdicates and recovers without operator action.
+    ++stats_.stale_epoch_rejects;
+    if (ls.i_am_leader) {
+      repel_stale_claim(level, sender, msg.epoch, msg.entry.incarnation);
+    }
+    if (ls.leader == sender) ls.leader = membership::kInvalidNode;
+  } else if (msg.is_leader) {
     const bool leader_changed = ls.leader != sender;
     if (leader_changed) {
       ls.leader = sender;
+      ls.prev_leader = membership::kInvalidNode;  // succession resolved
+      ls.prev_leader_incarnation = 0;
       ls.backup_grace_timer->cancel();
       if (ls.electing) {
         ls.electing = false;
@@ -510,8 +599,11 @@ void HierDaemon::on_heartbeat(int level, const HeartbeatMsg& msg) {
     }
     ls.leader_backup = msg.backup;
     if (ls.i_am_leader) {
-      // Two leaders on one channel: lowest id keeps the role (paper's
-      // election invariant — a leader never tolerates seeing another).
+      // Two leaders in mutual earshot: a newer-epoch claim was already
+      // resolved by adopt_epoch above (we yielded), so what remains is an
+      // equal-or-older claim from an independent lineage (healed merge,
+      // overlap fringe): lowest id keeps the role (paper's election
+      // invariant — a leader never tolerates seeing another).
       if (sender < self_) {
         ls.leader = sender;
         abdicate(level);
@@ -519,12 +611,7 @@ void HierDaemon::on_heartbeat(int level, const HeartbeatMsg& msg) {
         // surviving leader so both sides' subtrees propagate.
         request_bootstrap(level, sender);
       } else {
-        CoordinatorMsg assert_msg;
-        assert_msg.leader = self_;
-        assert_msg.level = static_cast<uint8_t>(level);
-        assert_msg.backup = ls.my_backup;
-        net_.send_multicast(self_, channel_of(level), ttl_of(level),
-                            config_.data_port, encode_message(assert_msg));
+        send_coordinator(level);
         ls.leader = self_;
       }
     } else if (!ls.bootstrapped || leader_changed) {
@@ -549,6 +636,17 @@ void HierDaemon::on_update(int level, const UpdateMsg& msg) {
   if (msg.origin == self_) return;
   auto member = ls.members.find(msg.origin);
   if (member != ls.members.end()) member->second.last_heard = sim_.now();
+  // Stale-replay fence. An update stream from an origin whose leadership
+  // claim on this channel was superseded — at or below the epoch the batch
+  // is stamped with — is replay from before the re-election (a resumed
+  // leader flushing its out-log): the records in it, chiefly the leaves it
+  // stamped while detached, describe a world that no longer exists. Epochs
+  // from other, overlapping lineages pass (not comparable numbers), and so
+  // does a restarted origin's fresh stream (new life, new lineage).
+  if (fenced_stale(ls, msg.origin, msg.epoch, msg.origin_incarnation)) {
+    ++stats_.stale_epoch_rejects;
+    return;
+  }
   if (msg.records.empty()) return;
 
   std::vector<const UpdateRecord*> ordered;
@@ -603,12 +701,7 @@ void HierDaemon::on_election(int level, const ElectionMsg& msg) {
   LevelState& ls = level_state(level);
   if (msg.candidate == self_) return;
   if (ls.i_am_leader) {
-    CoordinatorMsg assert_msg;
-    assert_msg.leader = self_;
-    assert_msg.level = static_cast<uint8_t>(level);
-    assert_msg.backup = ls.my_backup;
-    net_.send_multicast(self_, channel_of(level), ttl_of(level),
-                        config_.data_port, encode_message(assert_msg));
+    send_coordinator(level);
     return;
   }
   if (self_ < msg.candidate && can_participate(level)) {
@@ -624,6 +717,28 @@ void HierDaemon::on_election(int level, const ElectionMsg& msg) {
 void HierDaemon::on_coordinator(int level, const CoordinatorMsg& msg) {
   LevelState& ls = level_state(level);
   if (msg.leader == self_) return;
+  if (fenced_stale(ls, msg.leader, msg.epoch, msg.leader_incarnation)) {
+    // Stale replay: an announcement of leadership the group has since
+    // re-elected away (e.g. a resumed leader's deferred COORDINATOR).
+    ++stats_.stale_epoch_rejects;
+    if (ls.i_am_leader) {
+      repel_stale_claim(level, msg.leader, msg.epoch, msg.leader_incarnation);
+    }
+    return;
+  }
+  // Record the succession the announcement carries: claims by the named
+  // predecessor's fenced life below this epoch are fenced from now on. This
+  // is what lets a receiver that never directly hears the new leader still
+  // reject the old one's replayed leadership.
+  if (msg.prev != membership::kInvalidNode && msg.prev != msg.leader &&
+      msg.prev != self_ && msg.epoch > 0) {
+    raise_fence(ls, msg.prev, msg.epoch - 1, msg.prev_incarnation);
+  }
+  if (msg.epoch > ls.epoch) {
+    adopt_epoch(level, msg.epoch, msg.leader);
+    // adopt_epoch resolved any leadership we held; fall through as a
+    // follower and record the announcer.
+  }
   if (ls.i_am_leader) {
     if (msg.leader < self_) {
       ls.leader = msg.leader;
@@ -636,6 +751,8 @@ void HierDaemon::on_coordinator(int level, const CoordinatorMsg& msg) {
   }
   ls.leader = msg.leader;
   ls.leader_backup = msg.backup;
+  ls.prev_leader = membership::kInvalidNode;  // succession resolved
+  ls.prev_leader_incarnation = 0;
   ls.electing = false;
   ls.answered = false;
   ls.election_timer->cancel();
@@ -704,17 +821,19 @@ void HierDaemon::become_leader(int level) {
   ls.i_am_leader = true;
   ls.leader = self_;
   ls.my_backup = pick_backup(level);
+  // Mint a new leadership epoch above everything heard on this channel, and
+  // fence the predecessor we are succeeding: its claims (and replayed
+  // updates) below the new epoch are stale from this moment on.
+  ls.epoch += 1;
+  ++stats_.epochs_minted;
+  if (ls.prev_leader != membership::kInvalidNode && ls.prev_leader != self_) {
+    raise_fence(ls, ls.prev_leader, ls.epoch - 1, ls.prev_leader_incarnation);
+  }
 
   TAMP_LOG(Info) << "hier node " << self_ << " becomes leader of level "
-                 << level;
+                 << level << " epoch " << ls.epoch;
 
-  CoordinatorMsg msg;
-  msg.leader = self_;
-  msg.level = static_cast<uint8_t>(level);
-  msg.backup = ls.my_backup;
-  net_.send_multicast(self_, channel_of(level), ttl_of(level),
-                      config_.data_port, encode_message(msg));
-  ++stats_.coordinators_sent;
+  send_coordinator(level);
 
   send_heartbeat(level);
   // Re-seed the group with everything we know: after a leader death the
@@ -737,7 +856,108 @@ void HierDaemon::abdicate(int level) {
   leave_levels_from(level + 1, /*announce=*/true);
 }
 
-void HierDaemon::handle_leader_loss(int level, NodeId old_leader) {
+void HierDaemon::send_coordinator(int level) {
+  LevelState& ls = level_state(level);
+  CoordinatorMsg msg;
+  msg.leader = self_;
+  msg.level = static_cast<uint8_t>(level);
+  msg.backup = ls.my_backup;
+  msg.epoch = ls.epoch;
+  // Name the leadership this one superseded (when it succeeded one), so
+  // every receiver — including ones that will never hear us directly —
+  // learns to fence the predecessor's replayed claims.
+  msg.prev = ls.i_am_leader ? ls.prev_leader : membership::kInvalidNode;
+  msg.leader_incarnation = own_.incarnation;
+  msg.prev_incarnation = ls.i_am_leader ? ls.prev_leader_incarnation : 0;
+  net_.send_multicast(self_, channel_of(level), ttl_of(level),
+                      config_.data_port, encode_message(msg));
+  ++stats_.coordinators_sent;
+}
+
+void HierDaemon::adopt_epoch(int level, membership::Epoch epoch,
+                             NodeId new_leader) {
+  LevelState& ls = level_state(level);
+  if (epoch <= ls.epoch) return;
+  ls.epoch = epoch;
+  ls.prev_leader = membership::kInvalidNode;
+  ls.prev_leader_incarnation = 0;
+  if (!ls.i_am_leader) return;
+  // A direct claim outranks our leadership: either we were superseded while
+  // out of earshot (pause, partition) and the group elected past us, or a
+  // merge brought a longer-lived leadership into earshot. Step down
+  // silently. The out-log is dropped, not replayed — it holds leaves
+  // stamped while detached, which would purge live nodes — and the old
+  // subtree's entries are the new leadership's to curate, so no purge
+  // either. Then re-enter as a plain member and pull a fresh image.
+  ++stats_.epochs_superseded;
+  TAMP_LOG(Info) << "hier node " << self_ << " superseded at level " << level
+                 << " (epoch " << epoch << "), abdicating";
+  ls.out_log.clear();
+  ls.leader = new_leader;
+  abdicate(level);
+  if (new_leader != membership::kInvalidNode) {
+    request_bootstrap(level, new_leader);
+  } else {
+    // Leader unknown yet: re-pull from whoever we next hear claiming the
+    // channel with a live epoch.
+    ls.bootstrapped = false;
+  }
+}
+
+void HierDaemon::raise_fence(LevelState& ls, NodeId node,
+                             membership::Epoch epoch,
+                             membership::Incarnation incarnation) {
+  // Fences are per-life: a record for a newer incarnation replaces the old
+  // life's record wholesale (the old life can never claim again anyway),
+  // while within one life the fence only ever rises.
+  LevelState::Fence& fence = ls.superseded[node];
+  if (incarnation > fence.incarnation) {
+    fence.incarnation = incarnation;
+    fence.epoch = epoch;
+  } else if (incarnation == fence.incarnation) {
+    fence.epoch = std::max(fence.epoch, epoch);
+  }
+}
+
+bool HierDaemon::fenced_stale(const LevelState& ls, NodeId node,
+                              membership::Epoch epoch,
+                              membership::Incarnation incarnation) {
+  // Stale only when the claimant's *current life* was superseded at or
+  // below this epoch: a higher incarnation is a restart — a fresh lineage
+  // the old succession record says nothing about.
+  auto it = ls.superseded.find(node);
+  return it != ls.superseded.end() && incarnation <= it->second.incarnation &&
+         epoch <= it->second.epoch;
+}
+
+void HierDaemon::repel_stale_claim(int level, NodeId claimant,
+                                   membership::Epoch claim_epoch,
+                                   membership::Incarnation claim_incarnation) {
+  LevelState& ls = level_state(level);
+  // Pin the claimant's current life in the succession fence (it may predate
+  // our own knowledge — e.g. the fence was learned from a COORDINATOR) and
+  // name it in the re-assertion so followers that missed the original
+  // announcement learn the succession too.
+  raise_fence(ls, claimant, claim_epoch, claim_incarnation);
+  ls.prev_leader = claimant;
+  ls.prev_leader_incarnation = claim_incarnation;
+  send_coordinator(level);
+  // Re-seed the claimant's stale view (and repair anything its replayed
+  // leaves knocked out elsewhere). A full-view burst, so rate-limited: the
+  // claimant keeps heartbeating until the COORDINATOR lands.
+  const sim::Time now = sim_.now();
+  if (now - ls.last_stale_reseed < config_.period) return;
+  ls.last_stale_reseed = now;
+  send_state_refresh(level);
+  // The resumed subtree hangs off this channel; re-announce upward too so
+  // the parent group re-admits whatever the stale episode purged there.
+  if (level + 1 < config_.max_ttl && levels_[level + 1]->joined) {
+    send_state_refresh(level + 1, /*subtree_only=*/true);
+  }
+}
+
+void HierDaemon::handle_leader_loss(int level, NodeId old_leader,
+                                    membership::Incarnation old_incarnation) {
   LevelState& ls = level_state(level);
   // Leadership may already have been resolved (a backup's COORDINATOR beat
   // our own detection scan): do not contest it.
@@ -745,6 +965,10 @@ void HierDaemon::handle_leader_loss(int level, NodeId old_leader) {
     return;
   }
   if (ls.leader == old_leader) ls.leader = membership::kInvalidNode;
+  // Whoever wins the succession (backup takeover or election) names the
+  // lost leader's life as superseded in its COORDINATOR.
+  ls.prev_leader = old_leader;
+  ls.prev_leader_incarnation = old_incarnation;
   const NodeId backup = ls.leader_backup;
   ls.leader_backup = membership::kInvalidNode;
   if (backup == self_ && ls.joined && !ls.i_am_leader) {
@@ -795,13 +1019,20 @@ bool HierDaemon::process_record(const UpdateRecord& record, NodeId relayed_by,
     return fresh;
   }
 
-  // kLeave. Our own ears beat second-hand news: if we currently hear the
-  // subject's heartbeats, the leave is stale (or an overlap artifact).
+  // kLeave. Stale leaves are fenced upstream: the per-origin succession
+  // fence drops whole messages from superseded claimants, and the deafness
+  // guard stops a resurfacing node from ever emitting its cut-off backlog.
+  // record.epoch stays on the wire as provenance (which leadership stamped
+  // the record) — it is not compared numerically here, because relayed
+  // records cross channels whose lineages mint independently.
+  // Our own ears beat second-hand news: if we currently hear the subject's
+  // heartbeats, the leave is stale (or an overlap artifact).
   if (heard_directly(record.subject)) return false;
   if (!table_.remove(record.subject, record.incarnation, now)) return false;
   notify(record.subject, false);
   relay_record(record, arrival_level);
-  purge_dependents(record.subject, arrival_level);
+  purge_dependents(record.subject, arrival_level,
+                   levels_[arrival_level]->epoch);
   return true;
 }
 
@@ -838,15 +1069,26 @@ void HierDaemon::emit_batch(int level,
   LevelState& ls = level_state(level);
   if (!ls.joined || batch.empty()) return;
 
+  // Deafness guard, mirrored from on_data_packet for timer-driven emissions
+  // (a refresh can fire after a resume before any packet has arrived): a
+  // backlog stamped while cut off must not ride out on the piggyback.
+  if (ls.last_received > 0 && !ls.out_log.empty() &&
+      sim_.now() - ls.last_received > level_timeout(level)) {
+    ls.out_log.clear();
+    ++stats_.deaf_backlogs_dropped;
+  }
+
   UpdateMsg msg;
   msg.origin = self_;
   msg.origin_incarnation = own_.incarnation;
+  msg.epoch = ls.epoch;
   // Piggyback the previous records (newest first) after the new batch.
   const size_t prior =
       std::min<size_t>(static_cast<size_t>(config_.piggyback), ls.out_log.size());
   for (const auto& record : batch) {
     UpdateRecord stamped = record;
     stamped.seq = ++ls.out_seq;
+    stamped.epoch = ls.epoch;
     ls.out_log.push_front(stamped);
   }
   for (size_t i = 0; i < batch.size() + prior && i < ls.out_log.size(); ++i) {
@@ -897,6 +1139,7 @@ void HierDaemon::request_sync(int level, NodeId origin, uint64_t last_seq) {
   request.requester = self_;
   request.level = static_cast<uint8_t>(level);
   request.last_seq_seen = last_seq;
+  request.epoch = ls.epoch;
   net_.send_unicast(self_, net::Address{origin, config_.control_port},
                     encode_message(request));
 }
@@ -907,6 +1150,8 @@ void HierDaemon::request_bootstrap(int level, NodeId leader) {
   ++stats_.bootstraps_requested;
   BootstrapRequestMsg request;
   request.requester = self_;
+  request.level = static_cast<uint8_t>(level);
+  request.epoch = ls.epoch;
   request.known = full_view();
   net_.send_unicast(self_, net::Address{leader, config_.control_port},
                     encode_message(request));
@@ -962,7 +1207,8 @@ void HierDaemon::reconcile_with_image(NodeId responder,
     if (table_.remove(id, incarnation, now)) {
       notify(id, false);
       relay_record(make_leave_record(id, incarnation), arrival_level);
-      purge_dependents(id, arrival_level);
+      purge_dependents(id, arrival_level,
+                       level_state(arrival_level).epoch);
     }
   }
 }

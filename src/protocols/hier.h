@@ -95,6 +95,14 @@ struct HierStats {
   uint64_t syncs_served = 0;
   uint64_t gaps_recovered_by_piggyback = 0;
   uint64_t relayed_purges = 0;  // entries dropped because their relay died
+  uint64_t epochs_minted = 0;   // leaderships taken (become_leader calls)
+  // Messages/claims dropped for bearing a superseded leadership epoch, plus
+  // leaderships yielded on learning of a newer epoch.
+  uint64_t stale_epoch_rejects = 0;
+  uint64_t epochs_superseded = 0;
+  // Out-logs discarded after a deafness gap (no packets on a joined channel
+  // for longer than its own failure timeout) instead of being replayed.
+  uint64_t deaf_backlogs_dropped = 0;
 };
 
 class HierDaemon : public MembershipDaemon {
@@ -116,6 +124,10 @@ class HierDaemon : public MembershipDaemon {
   std::vector<membership::NodeId> group_members(int level) const;
   const HierStats& stats() const { return stats_; }
   const HierConfig& config() const { return config_; }
+  // Highest leadership epoch this node knows for `level` (its own minted
+  // epoch while it leads). Persists across joins/leaves of the level —
+  // epoch knowledge must never regress within one daemon lifetime.
+  membership::Epoch epoch_of(int level) const;
 
   // Timeout used for members heard at `level`.
   sim::Duration level_timeout(int level) const;
@@ -140,6 +152,40 @@ class HierDaemon : public MembershipDaemon {
 
     bool electing = false;
     bool answered = false;  // saw an ANSWER for our candidacy
+
+    // Highest leadership epoch observed on this channel (== our own minted
+    // epoch while i_am_leader). Epochs are lineage-scoped: overlapping
+    // groups sharing this channel mint independently, so this value is used
+    // for minting above the channel's history and for claim-vs-claim
+    // resolution — never as a blanket fence against arbitrary senders.
+    // Survives leaving the level; reset only by a daemon restart, which the
+    // oracle treats as a fresh observer.
+    membership::Epoch epoch = 0;
+    // Succession record: claimant -> highest (epoch, incarnation) at which
+    // its leadership of a group on this channel is known superseded. A
+    // claim (or update / image) from a listed node at or below that epoch
+    // is stale replay — but only within the same life: a claimant that
+    // restarted (higher incarnation) is a new lineage and passes the fence,
+    // otherwise a node once superseded could never lead again after a
+    // crash-restart. Populated from CoordinatorMsg::prev and repelled
+    // claims.
+    struct Fence {
+      membership::Epoch epoch = 0;
+      membership::Incarnation incarnation = 0;
+    };
+    std::map<membership::NodeId, Fence> superseded;
+    // The leader whose loss triggered our pending/held leadership — named
+    // as CoordinatorMsg::prev so the group learns the succession — plus the
+    // incarnation its fenced life was living.
+    membership::NodeId prev_leader = membership::kInvalidNode;
+    membership::Incarnation prev_leader_incarnation = 0;
+    // Last time any packet arrived on this channel. A gap exceeding the
+    // level's own failure timeout means every peer has timed us out: the
+    // out-log stamped during the gap is stale and must not be replayed.
+    sim::Time last_received = 0;
+    // Rate limit for the re-seed refresh triggered by stale leadership
+    // claims (a resumed stale leader heartbeats until it learns better).
+    sim::Time last_stale_reseed = 0;
 
     uint64_t out_seq = 0;
     std::deque<membership::UpdateRecord> out_log;      // newest at front
@@ -185,7 +231,11 @@ class HierDaemon : public MembershipDaemon {
   bool heard_directly(membership::NodeId node) const;
   // Drop entries whose relay chain went through `dead` (paper Timeout
   // protocol: relayed information lives exactly as long as its relay).
-  void purge_dependents(membership::NodeId dead, int arrival_level);
+  // `trigger_epoch` is the leadership epoch under which the death was
+  // established; the purge aborts if the level's leadership has since moved
+  // to a newer epoch (the new leader's refresh owns the truth then).
+  void purge_dependents(membership::NodeId dead, int arrival_level,
+                        membership::Epoch trigger_epoch);
 
   // --- packet handling ------------------------------------------------------
   void on_data_packet(const net::Packet& packet);
@@ -202,7 +252,33 @@ class HierDaemon : public MembershipDaemon {
   membership::NodeId pick_backup(int level);
   void become_leader(int level);
   void abdicate(int level);
-  void handle_leader_loss(int level, membership::NodeId old_leader);
+  void handle_leader_loss(int level, membership::NodeId old_leader,
+                          membership::Incarnation old_incarnation);
+  // Fence maintenance: a fence is keyed to the fenced life. Raising with a
+  // newer incarnation replaces the record; raising with an older one is
+  // stale knowledge and ignored.
+  static void raise_fence(LevelState& ls, membership::NodeId node,
+                          membership::Epoch epoch,
+                          membership::Incarnation incarnation);
+  static bool fenced_stale(const LevelState& ls, membership::NodeId node,
+                           membership::Epoch epoch,
+                           membership::Incarnation incarnation);
+  // Multicast a COORDINATOR assertion carrying the level's current epoch
+  // and the superseded predecessor (prev_leader) when there is one.
+  void send_coordinator(int level);
+  // Adopt a *directly claimed* newer epoch (leader-flagged heartbeat or
+  // COORDINATOR — never second-hand gossip). If this node held the now
+  // superseded leadership, it silently abdicates, drops its stale out-log
+  // instead of replaying it, and re-bootstraps from `new_leader` rather
+  // than purging its old subtree.
+  void adopt_epoch(int level, membership::Epoch epoch,
+                   membership::NodeId new_leader);
+  // A leader observed a stale leadership claim on its channel: record the
+  // claimant in the succession fence, re-assert the live leadership (naming
+  // the claimant as superseded), and re-seed its stale view.
+  void repel_stale_claim(int level, membership::NodeId claimant,
+                         membership::Epoch claim_epoch,
+                         membership::Incarnation claim_incarnation);
 
   // --- update propagation -----------------------------------------------
   // Applies one record, fires notifications, cascades purges, and relays

@@ -161,7 +161,14 @@ void MembershipOracle::note_restart(size_t index) {
   std::erase_if(probes_, [&](const KillProbe& probe) {
     return probe.victim_index == index;
   });
-  // Cluster::restart builds a fresh daemon; re-claim its listener slot.
+  // Cluster::restart builds a fresh daemon; re-claim its listener slot and
+  // forget the old lifetime's epoch history (a fresh daemon restarts at 0).
+  if (index < epoch_seen_.size()) {
+    std::fill(epoch_seen_[index].begin(), epoch_seen_[index].end(),
+              membership::Epoch{0});
+    std::fill(stale_claim_since_[index].begin(),
+              stale_claim_since_[index].end(), sim::Time{0});
+  }
   install_listener(index);
 }
 
@@ -277,6 +284,7 @@ void MembershipOracle::tick() {
   ++checks_run_;
   check_phantoms();
   check_kill_probes();
+  if (cluster_.options().scheme == Scheme::kHierarchical) check_epochs();
   if (quiescent()) {
     check_completeness();
     if (cluster_.options().scheme == Scheme::kHierarchical) {
@@ -322,6 +330,84 @@ void MembershipOracle::check_kill_probes() {
     probe.pending.clear();
   }
   std::erase_if(probes_, [](const KillProbe& p) { return p.pending.empty(); });
+}
+
+void MembershipOracle::check_epochs() {
+  // Invariants 7-8: leadership-epoch hygiene (hierarchical only).
+  const int levels = std::max(
+      1, std::min(cluster_.options().hier.max_ttl, topology_.max_ttl()));
+  if (epoch_seen_.empty()) {
+    epoch_seen_.assign(cluster_.size(),
+                       std::vector<membership::Epoch>(levels, 0));
+    stale_claim_since_.assign(cluster_.size(),
+                              std::vector<sim::Time>(levels, 0));
+  }
+  const sim::Time now = sim_.now();
+  const sim::Duration deadline = detection_deadline();
+  for (int level = 0; level < levels; ++level) {
+    // Invariant 7: a daemon's known epoch never regresses in one lifetime.
+    // Checked for every live daemon (a paused one keeps running, merely
+    // detached) — there is no legitimate way for this number to shrink.
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+      if (!truth_[i].alive) continue;
+      HierDaemon* daemon = cluster_.hier_daemon(i);
+      if (daemon == nullptr || !daemon->running()) continue;
+      const membership::Epoch epoch = daemon->epoch_of(level);
+      if (epoch < epoch_seen_[i][level]) {
+        add_violation(
+            "epoch-monotonicity", cluster_.hosts()[i], membership::kInvalidNode,
+            "level-" + std::to_string(level) + " epoch went backwards (" +
+                std::to_string(epoch_seen_[i][level]) + " -> " +
+                std::to_string(epoch) + ") within one daemon lifetime");
+      }
+      epoch_seen_[i][level] = std::max(epoch_seen_[i][level], epoch);
+    }
+    // Invariant 8: stale-purge detection. A node leading under an epoch
+    // older than a live leader within earshot is replaying superseded
+    // leadership — the state that turns resumed out-logs and refreshes
+    // into cross-rack purges. It must abdicate as soon as the live
+    // leader's traffic reaches it; a claim outliving the detection
+    // deadline means the fencing failed.
+    for (size_t i = 0; i < cluster_.size(); ++i) {
+      if (!truth_[i].alive || truth_[i].paused) continue;
+      HierDaemon* daemon = cluster_.hier_daemon(i);
+      if (daemon == nullptr || !daemon->running() ||
+          !daemon->is_leader(level)) {
+        stale_claim_since_[i][level] = 0;
+        continue;
+      }
+      const net::HostId self = cluster_.hosts()[i];
+      bool superseded = false;
+      for (size_t j = 0; j < cluster_.size() && !superseded; ++j) {
+        if (j == i || !truth_[j].alive || truth_[j].paused) continue;
+        HierDaemon* peer = cluster_.hier_daemon(j);
+        if (peer == nullptr || !peer->running() || !peer->is_leader(level)) {
+          continue;
+        }
+        if (peer->epoch_of(level) <= daemon->epoch_of(level)) continue;
+        const net::HostId other = cluster_.hosts()[j];
+        int ttl = topology_.ttl_required(other, self);
+        if (ttl == 0 || ttl > level + 1) continue;  // out of earshot
+        if (!is_reachable(other, self)) continue;
+        superseded = true;
+      }
+      if (!superseded) {
+        stale_claim_since_[i][level] = 0;
+        continue;
+      }
+      if (stale_claim_since_[i][level] == 0) {
+        stale_claim_since_[i][level] = now;
+      } else if (now - stale_claim_since_[i][level] > deadline) {
+        add_violation(
+            "stale-purge", self, membership::kInvalidNode,
+            "level-" + std::to_string(level) +
+                " leadership claim under a superseded epoch persisted " +
+                sim::format_time(now - stale_claim_since_[i][level]) +
+                " within earshot of the live leader");
+        stale_claim_since_[i][level] = now;  // rate-limit repeats
+      }
+    }
+  }
 }
 
 void MembershipOracle::check_completeness() {

@@ -28,6 +28,14 @@
 //     entry's relayed_by chain is acyclic and terminates at a directly
 //     heard, actually-live relay (the Timeout protocol's purge chains stay
 //     well-founded).
+//  7. Epoch monotonicity (always, hierarchical): the leadership epoch a
+//     daemon knows for a level never decreases within one daemon lifetime
+//     (a restart starts a fresh observer).
+//  8. No persistent stale leadership (always, hierarchical): a node
+//     claiming leadership under an epoch older than a live leader within
+//     earshot must stand down within the detection deadline — a stale
+//     claim that persists is exactly the state from which stale-replay
+//     purges propagate.
 //
 // The first violation is captured with full context (invariant, observer,
 // subject, virtual time, detail) so a failing chaos scenario is
@@ -139,6 +147,7 @@ class MembershipOracle {
   void tick();
   void check_phantoms();
   void check_kill_probes();
+  void check_epochs();
   void check_completeness();
   void check_leader_uniqueness();
   void check_provenance();
@@ -154,6 +163,13 @@ class MembershipOracle {
 
   std::vector<NodeTruth> truth_;
   std::vector<KillProbe> probes_;
+  // Per (observer, level) epoch bookkeeping for invariants 7-8 (hierarchical
+  // only; sized lazily on first check). epoch_seen_ is the highest epoch the
+  // observer has reported this lifetime; stale_claim_since_ is when it was
+  // first seen leading under an epoch older than a live leader in earshot
+  // (0 = not currently).
+  std::vector<std::vector<membership::Epoch>> epoch_seen_;
+  std::vector<std::vector<sim::Time>> stale_claim_since_;
   sim::Time last_fault_ = 0;          // any note_*() call
   sim::Time last_network_change_ = 0; // network-condition edges only
   bool network_fault_active_ = false;

@@ -45,6 +45,12 @@ std::string describe(const FaultAction& action) {
     std::string operator()(const LeaderRestartFault&) {
       return "restart crashed leader";
     }
+    std::string operator()(const LeaderPauseFault&) {
+      return "pause leader across election";
+    }
+    std::string operator()(const LeaderResumeFault&) {
+      return "resume paused leader";
+    }
     std::string operator()(const PartitionStartFault& f) {
       return "partition start id=" + std::to_string(f.id) + " island=" +
              index_list(f.island) + (f.symmetric ? "" : " asym");
@@ -162,12 +168,15 @@ FaultPlan make_fault_plan(PlanKind kind, size_t nodes, size_t segment_size,
       break;
     case PlanKind::kPauseResume: {
       NodeIndex a = victim();
-      // Long pause: peers time the node out; on resume it replays a stale
-      // view (it timed *them* out, too) and the directory must re-merge.
-      at(0, PauseFault{a});
-      at(20, ResumeFault{a});
-      // Short blip, well under every scheme's detection bound: nobody may
-      // declare the node dead for it.
+      // Pause the current top leader across a leadership change: peers time
+      // it out and elect a successor while the victim keeps running on
+      // stale state (it timed *them* out, too). On resume it replays that
+      // state as a stale COORDINATOR and the directory must re-merge
+      // without purging the live subtree.
+      at(0, LeaderPauseFault{});
+      at(20, LeaderResumeFault{});
+      // Short blip on a follower, well under every scheme's detection
+      // bound: nobody may declare the node dead for it.
       at(34, PauseFault{a});
       at(36, ResumeFault{a});
       break;

@@ -29,6 +29,12 @@
 //                             fire time; lowest-id running node for the
 //                             schemes that have no leaders).
 //  * LeaderRestart          — restart the most recent LeaderCrash victim.
+//  * LeaderPause/Resume     — the pause-across-election primitive: detach
+//                             the *current* top leader (resolved at fire
+//                             time) long enough for its peers to elect a
+//                             successor, then reattach it. The resumed node
+//                             still believes it leads and replays its stale
+//                             view — the stale-COORDINATOR interleaving.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +62,8 @@ struct ResumeFault {
 };
 struct LeaderCrashFault {};
 struct LeaderRestartFault {};
+struct LeaderPauseFault {};
+struct LeaderResumeFault {};
 struct PartitionStartFault {
   int id = 0;  // matches the PartitionEndFault that heals it
   std::vector<NodeIndex> island;
@@ -86,10 +94,11 @@ struct DuplicateEndFault {};
 
 using FaultAction =
     std::variant<CrashFault, RestartFault, PauseFault, ResumeFault,
-                 LeaderCrashFault, LeaderRestartFault, PartitionStartFault,
-                 PartitionEndFault, UplinkDownFault, UplinkUpFault,
-                 LossStartFault, LossEndFault, DelayStartFault, DelayEndFault,
-                 DuplicateStartFault, DuplicateEndFault>;
+                 LeaderCrashFault, LeaderRestartFault, LeaderPauseFault,
+                 LeaderResumeFault, PartitionStartFault, PartitionEndFault,
+                 UplinkDownFault, UplinkUpFault, LossStartFault, LossEndFault,
+                 DelayStartFault, DelayEndFault, DuplicateStartFault,
+                 DuplicateEndFault>;
 
 struct FaultEvent {
   sim::Time at = 0;
@@ -117,7 +126,8 @@ enum class PlanKind {
   kAsymmetricCut,  // one-directional island cut, then heal
   kLossStorm,      // heavy loss + latency spike + jitter + duplication
   kLeaderKill,     // kill the leader, then its successor; restart the first
-  kPauseResume,    // long network pause (stale-state replay) + a short blip
+  kPauseResume,    // pause the leader across an election (stale-COORDINATOR
+                   // replay on resume) + a short follower blip
   kUplinkFlap,     // segment uplink down/up (topology-level partition)
 };
 

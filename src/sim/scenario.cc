@@ -367,6 +367,23 @@ class ScenarioRunner {
                 }
               }
             },
+            [&](const LeaderPauseFault&) {
+              size_t index = leader_index();
+              paused_leaders_.push_back(index);
+              net_->set_host_up(host(index), false);
+              oracle_->note_pause(index);
+            },
+            [&](const LeaderResumeFault&) {
+              // Most recent leader-pause victim that is still detached.
+              for (auto it = paused_leaders_.rbegin();
+                   it != paused_leaders_.rend(); ++it) {
+                if (!net_->host_up(host(*it))) {
+                  net_->set_host_up(host(*it), true);
+                  oracle_->note_resume(*it);
+                  return;
+                }
+              }
+            },
             [&](const PartitionStartFault& f) {
               std::vector<net::HostId> island;
               island.reserve(f.island.size());
@@ -420,6 +437,7 @@ class ScenarioRunner {
   FaultPlan plan_;
   sim::Time fault_start_ = 0;
   std::vector<size_t> leader_victims_;
+  std::vector<size_t> paused_leaders_;
   int uplinks_down_ = 0;
 };
 

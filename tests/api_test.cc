@@ -190,14 +190,132 @@ TEST_F(ApiFixture, ControlAdjustsDaemonParameters) {
   net::ClusterLayout small = net::build_single_segment(topo, 2);
   net = std::make_unique<net::Network>(sim, topo);
   MService service(sim, *net, store, small.hosts[0], kPaperConfig);
-  service.control(ControlCommand::kSetFrequency, 2.0);
-  service.control(ControlCommand::kSetMaxLoss, 3);
-  service.control(ControlCommand::kSetMaxTtl, 2);
+  EXPECT_TRUE(service.control(SetFrequencyRequest{2.0}).status.ok());
+  EXPECT_TRUE(service.control(SetMaxLossRequest{3}).status.ok());
+  ControlResponse ttl_response = service.control(SetMaxTtlRequest{2});
+  EXPECT_TRUE(ttl_response.status.ok());
+  EXPECT_EQ(ttl_response.version, kControlApiVersion);
   ASSERT_EQ(service.run(), 0);
   EXPECT_EQ(service.daemon().config().period, sim::kSecond / 2);
   EXPECT_EQ(service.daemon().config().max_losses, 3);
   EXPECT_EQ(service.daemon().config().max_ttl, 2);
   EXPECT_EQ(service.run(), -1);  // double run rejected
+}
+
+TEST_F(ApiFixture, ControlRejectsBadValuesAndLateChanges) {
+  net::ClusterLayout small = net::build_single_segment(topo, 2);
+  net = std::make_unique<net::Network>(sim, topo);
+  MService service(sim, *net, store, small.hosts[0], kPaperConfig);
+
+  // Invalid values come back as Status errors instead of asserting, and
+  // leave the configuration untouched.
+  EXPECT_FALSE(service.control(SetFrequencyRequest{-1.0}).status.ok());
+  EXPECT_FALSE(service.control(SetMaxTtlRequest{0}).status.ok());
+  EXPECT_FALSE(service.control(SetMaxLossRequest{0}).status.ok());
+  EXPECT_DOUBLE_EQ(service.config().system.mcast_freq, 1.0);
+  EXPECT_EQ(service.config().system.max_ttl, 4);
+
+  // Queries before run() are rejected too.
+  EXPECT_FALSE(service.control(LeadershipQuery{}).status.ok());
+
+  ASSERT_EQ(service.run(), 0);
+  // Parameter changes after run() are rejected, not applied.
+  EXPECT_FALSE(service.control(SetFrequencyRequest{2.0}).status.ok());
+  EXPECT_EQ(service.daemon().config().period, sim::kSecond);
+}
+
+TEST_F(ApiFixture, LeadershipQueryReportsEpochsAndIncarnation) {
+  build(1, 4);
+  sim.run_until(15 * sim::kSecond);
+
+  bool leader_seen = false;
+  for (auto& service : services) {
+    ControlResponse response = service->control(LeadershipQuery{});
+    ASSERT_TRUE(response.status.ok()) << response.status.message();
+    EXPECT_EQ(response.version, kControlApiVersion);
+    EXPECT_GE(response.incarnation, 1u);
+    ASSERT_EQ(response.leadership.size(), 4u);
+    const LeadershipInfo& level0 = response.leadership[0];
+    EXPECT_EQ(level0.level, 0);
+    EXPECT_TRUE(level0.joined);
+    EXPECT_NE(level0.leader, membership::kInvalidNode);
+    if (level0.is_leader) {
+      leader_seen = true;
+      // A node that led an election minted at least epoch 1.
+      EXPECT_GE(level0.epoch, 1u);
+    }
+  }
+  EXPECT_TRUE(leader_seen);
+}
+
+TEST(ConfigBuilder, FluentBuildValidates) {
+  MembershipConfig config;
+  Status status = MembershipConfigBuilder()
+                      .mcast_addr("239.255.0.7")
+                      .mcast_freq(2.0)
+                      .max_ttl(3)
+                      .max_loss(4)
+                      .add_service("HTTP", "0", {{"Port", "8080"}})
+                      .Build(&config);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(config.system.mcast_addr, "239.255.0.7");
+  EXPECT_DOUBLE_EQ(config.system.mcast_freq, 2.0);
+  EXPECT_EQ(config.system.max_ttl, 3);
+  ASSERT_EQ(config.services.size(), 1u);
+  EXPECT_EQ(config.services[0].params.at("Port"), "8080");
+}
+
+TEST(ConfigBuilder, RejectsOutOfRangeValues) {
+  MembershipConfig config;
+  config.system.max_ttl = 99;  // sentinel: must stay untouched on error
+  EXPECT_FALSE(MembershipConfigBuilder().max_ttl(0).Build(&config).ok());
+  EXPECT_FALSE(MembershipConfigBuilder().max_ttl(251).Build(&config).ok());
+  EXPECT_FALSE(MembershipConfigBuilder().mcast_freq(0).Build(&config).ok());
+  EXPECT_FALSE(MembershipConfigBuilder().max_loss(0).Build(&config).ok());
+  EXPECT_FALSE(MembershipConfigBuilder().mcast_port(65535).Build(&config).ok());
+  EXPECT_FALSE(MembershipConfigBuilder().mcast_addr("").Build(&config).ok());
+  EXPECT_FALSE(
+      MembershipConfigBuilder().add_service("S", "4-2").Build(&config).ok());
+  EXPECT_FALSE(
+      MembershipConfigBuilder().add_service("").Build(&config).ok());
+  EXPECT_EQ(config.system.max_ttl, 99);
+}
+
+TEST(ConfigBuilder, SeedsFromFigureSevenText) {
+  MembershipConfig config;
+  Status status = MembershipConfigBuilder::FromText(kPaperConfig)
+                      .mcast_freq(4.0)  // override on top of the file
+                      .Build(&config);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(config.system.shm_key, 999);
+  EXPECT_DOUBLE_EQ(config.system.mcast_freq, 4.0);
+  ASSERT_EQ(config.services.size(), 2u);
+
+  // A parse failure is remembered and surfaces in Build().
+  Status bad = MembershipConfigBuilder::FromText("*SYSTEM\nMAX_TTL = oops\n")
+                   .Build(&config);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.message().find("line 2"), std::string::npos);
+}
+
+TEST(ConfigBuilder, ValidatedConfigConstructsServiceDirectly) {
+  sim::Simulation sim(7);
+  net::Topology topo;
+  auto layout = net::build_single_segment(topo, 2);
+  net::Network net(sim, topo);
+  DirectoryStore store;
+
+  MembershipConfig config;
+  ASSERT_TRUE(MembershipConfigBuilder::FromText(kPaperConfig)
+                  .shm_key(1234)
+                  .Build(&config)
+                  .ok());
+  MService service(sim, net, store, layout.hosts[0], std::move(config));
+  EXPECT_TRUE(service.config_error().empty());
+  EXPECT_EQ(service.shm_key(), 1234);
+  EXPECT_EQ(service.run(), 0);
+  MClient client(store, layout.hosts[0], 1234);
+  EXPECT_TRUE(client.attached());
 }
 
 TEST(ApiStandalone, MalformedConfigFallsBackToDefaults) {

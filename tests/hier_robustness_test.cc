@@ -10,6 +10,7 @@
 
 #include "net/builders.h"
 #include "protocols/cluster.h"
+#include "sim/scenario.h"
 
 namespace tamp::protocols {
 namespace {
@@ -216,6 +217,33 @@ TEST_F(RobustnessFixture, AntiEntropyRepairsSilentDivergence) {
   net->set_extra_loss(0.0);
   sim.run_until(sim.now() + 25 * sim::kSecond);
   EXPECT_TRUE(cluster->converged());
+}
+
+// Regression for the stale-leadership replay family: a leader paused across
+// an election resumes believing it still leads and replays pre-pause state
+// (COORDINATORs, out-log deltas, refresh images). Leadership epochs plus the
+// succession fence must make it abdicate and re-bootstrap instead of purging
+// live successors. Seeds 5-9 cover the formations that historically broke —
+// seed 7 on the router chain is the exact non-convergence from the issue,
+// where overlapping groups share a channel and naive cross-lineage epoch
+// comparison severed the bridge leader.
+TEST(PauseAcrossElection, StaleLeaderReplayIsFencedOnEveryShape) {
+  for (chaos::ShapeKind shape : chaos::kAllShapeKinds) {
+    for (uint64_t seed = 5; seed <= 9; ++seed) {
+      chaos::ScenarioSpec spec;
+      spec.scheme = Scheme::kHierarchical;
+      spec.shape = shape;
+      spec.plan = chaos::PlanKind::kPauseResume;
+      spec.seed = seed;
+      spec.nodes = 12;
+      chaos::ScenarioResult result = chaos::run_scenario(spec);
+      EXPECT_TRUE(result.passed)
+          << result.name << " violated the oracle:\n"
+          << result.report << "repro: " << result.repro;
+      EXPECT_EQ(result.final_converged, result.final_running)
+          << result.name << " ended unconverged; repro: " << result.repro;
+    }
+  }
 }
 
 // Deterministic replay: identical seeds give identical event counts and

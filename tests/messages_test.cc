@@ -23,12 +23,14 @@ TEST(Messages, HeartbeatRoundTrip) {
   msg.is_leader = true;
   msg.backup = 99;
   msg.seq = 12345;
+  msg.epoch = 7;
   auto out = round_trip(msg);
   EXPECT_EQ(out.entry, msg.entry);
   EXPECT_EQ(out.level, 2);
   EXPECT_TRUE(out.is_leader);
   EXPECT_EQ(out.backup, 99u);
   EXPECT_EQ(out.seq, 12345u);
+  EXPECT_EQ(out.epoch, 7u);
 }
 
 TEST(Messages, HeartbeatPadding) {
@@ -44,6 +46,7 @@ TEST(Messages, HeartbeatPadding) {
 TEST(Messages, UpdateRoundTrip) {
   UpdateMsg msg;
   msg.origin = 3;
+  msg.epoch = 5;
   UpdateRecord join;
   join.seq = 10;
   join.kind = UpdateKind::kJoin;
@@ -55,51 +58,63 @@ TEST(Messages, UpdateRoundTrip) {
   leave.kind = UpdateKind::kLeave;
   leave.subject = 8;
   leave.incarnation = 1;
+  leave.epoch = 4;
   msg.records = {join, leave};
 
   auto out = round_trip(msg);
   ASSERT_EQ(out.records.size(), 2u);
   EXPECT_EQ(out.origin, 3u);
+  EXPECT_EQ(out.epoch, 5u);
   EXPECT_EQ(out.records[0].kind, UpdateKind::kJoin);
   ASSERT_TRUE(out.records[0].entry.has_value());
   EXPECT_EQ(*out.records[0].entry, *join.entry);
   EXPECT_EQ(out.records[1].kind, UpdateKind::kLeave);
   EXPECT_FALSE(out.records[1].entry.has_value());
   EXPECT_EQ(out.records[1].seq, 11u);
+  EXPECT_EQ(out.records[1].epoch, 4u);
 }
 
 TEST(Messages, BootstrapRoundTrip) {
   BootstrapRequestMsg request;
   request.requester = 5;
+  request.epoch = 3;
   request.known = {make_representative_entry(5), make_representative_entry(6)};
   auto req_out = round_trip(request);
   EXPECT_EQ(req_out.requester, 5u);
+  EXPECT_EQ(req_out.epoch, 3u);
   EXPECT_EQ(req_out.known.size(), 2u);
 
   BootstrapResponseMsg response;
   response.responder = 1;
+  response.responder_incarnation = 4;
+  response.epoch = 9;
   for (NodeId n = 0; n < 20; ++n) {
     response.entries.push_back(make_representative_entry(n));
   }
   auto resp_out = round_trip(response);
+  EXPECT_EQ(resp_out.responder_incarnation, 4u);
   EXPECT_EQ(resp_out.entries.size(), 20u);
   EXPECT_EQ(resp_out.entries[19], response.entries[19]);
+  EXPECT_EQ(resp_out.epoch, 9u);
 }
 
 TEST(Messages, SyncRoundTrip) {
-  SyncRequestMsg request{42, 2, 1000};
+  SyncRequestMsg request{42, 2, 1000, 6};
   auto req_out = round_trip(request);
   EXPECT_EQ(req_out.requester, 42u);
   EXPECT_EQ(req_out.level, 2);
   EXPECT_EQ(req_out.last_seq_seen, 1000u);
+  EXPECT_EQ(req_out.epoch, 6u);
 
   SyncResponseMsg response;
   response.responder = 1;
   response.level = 2;
   response.stream_seq = 1010;
+  response.epoch = 8;
   response.entries = {make_representative_entry(3)};
   auto resp_out = round_trip(response);
   EXPECT_EQ(resp_out.stream_seq, 1010u);
+  EXPECT_EQ(resp_out.epoch, 8u);
   ASSERT_EQ(resp_out.entries.size(), 1u);
 }
 
@@ -111,9 +126,56 @@ TEST(Messages, ElectionRoundTrips) {
   auto answer = round_trip(ElectionAnswerMsg{4, 2});
   EXPECT_EQ(answer.responder, 4u);
 
-  auto coordinator = round_trip(CoordinatorMsg{2, 0, 17});
+  CoordinatorMsg announce{2, 0, 17};
+  announce.epoch = 12;
+  announce.prev = 6;  // succession record: node 6's reign <= 11 is fenced
+  announce.leader_incarnation = 3;
+  announce.prev_incarnation = 2;  // ...but only node 6's second life
+  auto coordinator = round_trip(announce);
   EXPECT_EQ(coordinator.leader, 2u);
   EXPECT_EQ(coordinator.backup, 17u);
+  EXPECT_EQ(coordinator.epoch, 12u);
+  EXPECT_EQ(coordinator.prev, 6u);
+  EXPECT_EQ(coordinator.leader_incarnation, 3u);
+  EXPECT_EQ(coordinator.prev_incarnation, 2u);
+
+  // Default-constructed succession fields survive the trip too.
+  auto bare = round_trip(CoordinatorMsg{2, 0, 17});
+  EXPECT_EQ(bare.epoch, 0u);
+  EXPECT_EQ(bare.prev, kInvalidNode);
+  EXPECT_EQ(bare.leader_incarnation, 0u);
+  EXPECT_EQ(bare.prev_incarnation, 0u);
+}
+
+TEST(Messages, VersionByteGatesDecoding) {
+  HeartbeatMsg msg;
+  msg.entry = make_representative_entry(1);
+  auto payload = encode_message(Message{msg});
+  ASSERT_FALSE(payload->empty());
+  // Every frame leads with the tagged version byte.
+  EXPECT_EQ((*payload)[0], kWireVersionByte);
+
+  // A frame claiming any other version is rejected, not misparsed.
+  for (int version = 0; version <= 0x0f; ++version) {
+    if ((kWireVersionTag | version) == kWireVersionByte) continue;
+    std::vector<uint8_t> other(*payload);
+    other[0] = static_cast<uint8_t>(kWireVersionTag | version);
+    EXPECT_FALSE(decode_message(other.data(), other.size()).has_value());
+  }
+}
+
+TEST(Messages, EpochlessV1FramesRejectedNeverMisparsed) {
+  // v1 frames began with the bare MessageType byte (1..12); the version tag
+  // 0xA0 is disjoint from that range, so every old frame fails the gate
+  // cleanly instead of decoding with garbage epochs.
+  HeartbeatMsg msg;
+  msg.entry = make_representative_entry(1);
+  auto payload = encode_message(Message{msg});
+  for (uint8_t type = 0; type <= 12; ++type) {
+    std::vector<uint8_t> v1(payload->begin() + 1, payload->end());
+    v1.insert(v1.begin(), type);  // what a v1 sender would have led with
+    EXPECT_FALSE(decode_message(v1.data(), v1.size()).has_value());
+  }
 }
 
 TEST(Messages, GossipRoundTripAndSizeScalesWithView) {
@@ -177,11 +239,17 @@ TEST(Messages, ProxySummaryMuchSmallerThanFullEntries) {
 
 TEST(Messages, MalformedInputsRejected) {
   EXPECT_FALSE(decode_message(nullptr, 0).has_value());
-  uint8_t unknown_type[] = {0xee, 1, 2, 3};
+  uint8_t unknown_version[] = {0xee, 1, 2, 3};
+  EXPECT_FALSE(
+      decode_message(unknown_version, sizeof(unknown_version)).has_value());
+  uint8_t unknown_type[] = {kWireVersionByte, 0xee, 1, 2, 3};
   EXPECT_FALSE(decode_message(unknown_type, sizeof(unknown_type)).has_value());
-  uint8_t bad_kind[] = {2 /*kUpdate*/, 1, 0, 0, 0 /*origin*/,
+  uint8_t bad_kind[] = {kWireVersionByte,
+                        2 /*kUpdate*/,
+                        1, 0, 0, 0 /*origin*/,
                         0, 0, 0, 0, 0, 0, 0, 0 /*origin incarnation*/,
-                        1 /*count*/,
+                        0 /*epoch varint*/,
+                        1 /*count varint*/,
                         0, 0, 0, 0, 0, 0, 0, 0 /*seq*/,
                         99 /*bad kind*/};
   EXPECT_FALSE(decode_message(bad_kind, sizeof(bad_kind)).has_value());

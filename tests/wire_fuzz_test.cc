@@ -55,6 +55,36 @@ TEST(WireFuzz, MutatedValidMessagesNeverCrash) {
   SUCCEED();
 }
 
+// The version byte is a hard gate: any frame not leading with the current
+// tagged version decodes to nullopt — a pre-epoch (v1) frame, whose first
+// byte was the bare MessageType, can never be misparsed as v2.
+TEST(WireFuzz, WrongVersionByteAlwaysRejected) {
+  util::Rng rng(10);
+  membership::UpdateMsg update;
+  update.origin = 3;
+  update.epoch = 2;
+  membership::UpdateRecord record;
+  record.seq = 1;
+  record.kind = membership::UpdateKind::kJoin;
+  record.subject = 7;
+  record.entry = membership::make_representative_entry(7);
+  update.records.push_back(std::move(record));
+  auto payload = membership::encode_message(membership::Message{update});
+  ASSERT_EQ((*payload)[0], membership::kWireVersionByte);
+
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<uint8_t> mutated(*payload);
+    uint8_t first = static_cast<uint8_t>(rng.next_u64());
+    mutated[0] = first;
+    auto decoded = membership::decode_message(mutated.data(), mutated.size());
+    if (first == membership::kWireVersionByte) {
+      EXPECT_TRUE(decoded.has_value());
+    } else {
+      EXPECT_FALSE(decoded.has_value());
+    }
+  }
+}
+
 // Random structured entries round-trip exactly (property over the codec).
 TEST(WireFuzz, RandomEntriesRoundTrip) {
   util::Rng rng(4);
