@@ -66,6 +66,7 @@ struct Encoder {
     w.u32(m.origin);
     w.u64(m.origin_incarnation);
     w.varint(m.epoch);
+    w.varint(m.window_base);
     w.varint(m.records.size());
     for (const auto& record : m.records) {
       w.u64(record.seq);
@@ -151,6 +152,13 @@ struct Encoder {
     w.u64(m.seq);
     encode_summary(w, m.summary);
   }
+  void operator()(const BusyMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kBusy));
+    w.u32(m.responder);
+    w.u8(m.level);
+    w.u8(static_cast<uint8_t>(m.kind));
+    w.varint(static_cast<uint64_t>(m.retry_after));
+  }
 };
 
 }  // namespace
@@ -191,6 +199,7 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
       m.origin = r.u32();
       m.origin_incarnation = r.u64();
       m.epoch = r.varint();
+      m.window_base = r.varint();
       uint64_t n = r.varint();
       for (uint64_t i = 0; i < n && r.ok(); ++i) {
         UpdateRecord record;
@@ -305,6 +314,17 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
       m.sender = r.u32();
       m.seq = r.u64();
       m.summary = decode_summary(r);
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kBusy: {
+      BusyMsg m;
+      m.responder = r.u32();
+      m.level = r.u8();
+      uint8_t kind = r.u8();
+      if (kind > static_cast<uint8_t>(BusyKind::kSync)) return std::nullopt;
+      m.kind = static_cast<BusyKind>(kind);
+      m.retry_after = static_cast<int64_t>(r.varint());
       if (!r.ok()) return std::nullopt;
       return m;
     }

@@ -31,6 +31,7 @@ enum class MessageType : uint8_t {
   kGossip = 10,
   kProxyHeartbeat = 11,
   kProxyUpdate = 12,
+  kBusy = 13,
 };
 
 // Wire format versioning. Every frame starts with a tagged version byte;
@@ -91,6 +92,13 @@ struct UpdateMsg {
   // The origin's view of the target channel's leadership epoch at send
   // time; receivers reject the whole message when it is older than theirs.
   Epoch epoch = 0;
+  // Every record with seq > window_base that still matters is present in
+  // `records` (compaction may drop shadowed intermediates). A receiver
+  // whose cursor is >= window_base can apply the carried records directly;
+  // a cursor below it means real history was trimmed away and a full-image
+  // sync is needed. Without compaction this equals oldest_carried_seq - 1,
+  // reproducing the old contiguous-gap rule exactly.
+  uint64_t window_base = 0;
   std::vector<UpdateRecord> records;
 };
 
@@ -135,6 +143,20 @@ struct SyncResponseMsg {
   // superseded leadership knowledge must not drive reconciliation removals.
   Epoch epoch = 0;
   std::vector<EntryData> entries;
+};
+
+// Admission-control pushback: the responder's full-image serve budget for
+// this period is spent, so instead of silently dropping the solicited
+// request (which the requester cannot distinguish from loss and would
+// retry into the same congestion) it names a deferral. `kind` echoes which
+// exchange was refused so the requester re-arms the right pending slot.
+enum class BusyKind : uint8_t { kBootstrap = 0, kSync = 1 };
+
+struct BusyMsg {
+  NodeId responder = kInvalidNode;
+  uint8_t level = 0;
+  BusyKind kind = BusyKind::kBootstrap;
+  int64_t retry_after = 0;  // ns the requester should wait before resending
 };
 
 // Bully election, scoped to one (channel, level) group.
@@ -207,7 +229,7 @@ using Message =
     std::variant<HeartbeatMsg, UpdateMsg, BootstrapRequestMsg,
                  BootstrapResponseMsg, SyncRequestMsg, SyncResponseMsg,
                  ElectionMsg, ElectionAnswerMsg, CoordinatorMsg, GossipMsg,
-                 ProxyHeartbeatMsg, ProxyUpdateMsg>;
+                 ProxyHeartbeatMsg, ProxyUpdateMsg, BusyMsg>;
 
 // Encode into a payload buffer. `pad_to` (when > 0) zero-pads the result to
 // a fixed size — used to equalize heartbeat packet sizes across protocols,

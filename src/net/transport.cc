@@ -71,10 +71,31 @@ bool Network::survives(const PathInfo& path, size_t fragments,
   return true;
 }
 
-void Network::dispatch(Packet packet, const PathInfo& path, size_t fragments) {
+bool Network::egress_admit(HostId from, size_t wire, sim::Duration& delay) {
+  if (config_.egress_bytes_per_sec <= 0.0) return true;
+  HostState& sender = hosts_[from];
+  const sim::Time now = sim_.now();
+  const sim::Time free_at = std::max(sender.egress_free_at, now);
+  if (config_.egress_queue_bytes > 0) {
+    const double backlog_bytes =
+        sim::to_seconds(free_at - now) * config_.egress_bytes_per_sec;
+    if (backlog_bytes + static_cast<double>(wire) >
+        static_cast<double>(config_.egress_queue_bytes)) {
+      return false;
+    }
+  }
+  const auto serialization = static_cast<sim::Duration>(
+      static_cast<double>(wire) / config_.egress_bytes_per_sec * 1e9);
+  sender.egress_free_at = free_at + serialization;
+  delay = sender.egress_free_at - now;
+  return true;
+}
+
+void Network::dispatch(Packet packet, const PathInfo& path, size_t fragments,
+                       sim::Duration egress_delay) {
   FaultInjector::Verdict verdict;
   if (injector_ != nullptr) {
-    verdict = injector_->verdict(packet.from.host, packet.to.host);
+    verdict = injector_->verdict(packet);
   }
   if (verdict.cut || !survives(path, fragments, verdict.extra_loss)) {
     hosts_[packet.to.host].stats.dropped_messages += 1;
@@ -82,7 +103,8 @@ void Network::dispatch(Packet packet, const PathInfo& path, size_t fragments) {
     return;
   }
 
-  sim::Duration base_delay = config_.min_delivery_delay + path.latency;
+  sim::Duration base_delay =
+      config_.min_delivery_delay + path.latency + egress_delay;
   if (path.min_bandwidth_bps > 0) {
     base_delay += static_cast<sim::Duration>(
         static_cast<double>(packet.wire_bytes) * 8.0 /
@@ -106,6 +128,12 @@ bool Network::send_unicast(HostId from, Address to, Payload payload) {
   if (!hosts_[from].up) return false;
 
   const size_t wire = wire_bytes_for(payload ? payload->size() : 0);
+  sim::Duration egress_delay = 0;
+  if (!egress_admit(from, wire, egress_delay)) {
+    hosts_[from].stats.tx_dropped_egress += 1;
+    total_.tx_dropped_egress += 1;
+    return true;  // accepted by the socket, dropped at the full NIC queue
+  }
   hosts_[from].stats.tx_messages += 1;
   hosts_[from].stats.tx_wire_bytes += wire;
   total_.tx_messages += 1;
@@ -123,7 +151,7 @@ bool Network::send_unicast(HostId from, Address to, Payload payload) {
   packet.sent_at = sim_.now();
 
   const size_t fragments = fragments_for(packet.size());
-  dispatch(std::move(packet), path, fragments);
+  dispatch(std::move(packet), path, fragments, egress_delay);
   return true;
 }
 
@@ -134,6 +162,12 @@ bool Network::send_multicast(HostId from, ChannelId channel, uint8_t ttl,
   if (!hosts_[from].up) return false;
 
   const size_t wire = wire_bytes_for(payload ? payload->size() : 0);
+  sim::Duration egress_delay = 0;
+  if (!egress_admit(from, wire, egress_delay)) {
+    hosts_[from].stats.tx_dropped_egress += 1;
+    total_.tx_dropped_egress += 1;
+    return true;  // one NIC send: the whole fan-out is dropped together
+  }
   hosts_[from].stats.tx_messages += 1;
   hosts_[from].stats.tx_wire_bytes += wire;
   total_.tx_messages += 1;
@@ -158,7 +192,7 @@ bool Network::send_multicast(HostId from, ChannelId channel, uint8_t ttl,
     packet.wire_bytes = wire;
     packet.sent_at = sim_.now();
 
-    dispatch(std::move(packet), path, fragments);
+    dispatch(std::move(packet), path, fragments, egress_delay);
   }
   return true;
 }

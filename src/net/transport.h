@@ -30,14 +30,25 @@ struct NetworkConfig {
   size_t per_fragment_overhead = 46;    // Ethernet(18) + IP(20) + UDP(8)
   double extra_loss = 0.0;              // loss injected on top of link loss
   sim::Duration min_delivery_delay = 5 * sim::kMicrosecond;
+  // Per-host egress capacity model. A host's NIC serializes packets at
+  // `egress_bytes_per_sec`; packets queue behind earlier ones (virtual-time
+  // token accounting, no per-packet RNG) and a packet that would push the
+  // queued backlog past `egress_queue_bytes` is dropped deterministically
+  // at the sender — the saturation behavior recovery storms run into on
+  // real NICs. 0 disables the rate (and with it the whole model); 0 for the
+  // queue bound means rate-limited but never dropped.
+  double egress_bytes_per_sec = 0.0;
+  size_t egress_queue_bytes = 0;
 };
 
-// Per-(sender, receiver) fault-injection hook, consulted once for every
-// datagram towards every receiver. Directional by construction — a verdict
-// for (a, b) says nothing about (b, a) — which is what lets a FaultPlan
-// express asymmetric partitions. All randomness implied by a verdict
-// (loss, jitter) is drawn from the simulation RNG, so injected chaos stays
-// deterministic per seed.
+// Fault-injection hook, consulted once for every datagram towards every
+// receiver. The full packet is exposed so injectors can target by endpoint
+// pair (directional by construction — a verdict for (a, b) says nothing
+// about (b, a), which is what lets a FaultPlan express asymmetric
+// partitions) or by content (e.g. drop exactly the first SyncResponse, for
+// deterministic protocol-level loss tests). All randomness implied by a
+// verdict (loss, jitter) is drawn from the simulation RNG, so injected
+// chaos stays deterministic per seed.
 class FaultInjector {
  public:
   struct Verdict {
@@ -48,7 +59,7 @@ class FaultInjector {
     int duplicates = 0;             // extra copies delivered (dup storm)
   };
   virtual ~FaultInjector() = default;
-  virtual Verdict verdict(HostId from, HostId to) = 0;
+  virtual Verdict verdict(const Packet& packet) = 0;
 };
 
 // Cumulative traffic counters. `rx_*` count packets actually delivered to a
@@ -62,6 +73,7 @@ struct TrafficStats {
   uint64_t rx_wire_bytes = 0;
   uint64_t rx_multicast_messages = 0;
   uint64_t dropped_messages = 0;  // lost in flight towards this host
+  uint64_t tx_dropped_egress = 0;  // dropped at the sender's full NIC queue
 
   void reset() { *this = TrafficStats(); }
 };
@@ -123,6 +135,10 @@ class Network {
     std::unordered_map<Port, RecvCallback> sockets;
     std::unordered_set<ChannelId> groups;
     TrafficStats stats;
+    // Virtual time at which this host's NIC finishes serializing everything
+    // already accepted for egress; the queue backlog is (free_at - now) in
+    // bytes at the configured rate.
+    sim::Time egress_free_at = 0;
   };
 
   // Per-channel membership index so multicast fan-out touches only the
@@ -135,10 +151,16 @@ class Network {
   // Applies path loss (per fragment) + configured extra loss + any
   // injector-imposed loss; true if delivered.
   bool survives(const PathInfo& path, size_t fragments, double injected_loss);
+  // Egress admission: false means the packet exceeds the sender's NIC
+  // queue and is dropped (deterministically — no RNG draw). On success,
+  // `delay` is the serialization/queueing delay to add to every receiver's
+  // delivery. Charged once per transmission (multicast is one NIC send).
+  bool egress_admit(HostId from, size_t wire, sim::Duration& delay);
   // Queues the packet towards one receiver, applying the injector verdict
   // (cut / loss / delay / jitter / duplication). Shared by unicast and the
   // per-receiver multicast fan-out.
-  void dispatch(Packet packet, const PathInfo& path, size_t fragments);
+  void dispatch(Packet packet, const PathInfo& path, size_t fragments,
+                sim::Duration egress_delay);
   void deliver(Packet packet);
 
   sim::Simulation& sim_;

@@ -14,6 +14,8 @@ using membership::decode_message;
 using membership::encode_message;
 using membership::BootstrapRequestMsg;
 using membership::BootstrapResponseMsg;
+using membership::BusyKind;
+using membership::BusyMsg;
 using membership::CoordinatorMsg;
 using membership::ElectionAnswerMsg;
 using membership::ElectionMsg;
@@ -164,7 +166,9 @@ void HierDaemon::leave_levels_from(int level, bool announce) {
     ls.prev_leader = membership::kInvalidNode;
     ls.prev_leader_incarnation = 0;
     ls.in_seq.clear();
-    ls.out_log.clear();
+    clear_out_log(ls);
+    ls.pending_bootstrap.reset();
+    ls.pending_syncs.clear();
     // `superseded` intentionally NOT reset: succession knowledge, like the
     // epoch itself, must never regress within one daemon lifetime.
     // out_seq intentionally NOT reset: receivers' per-origin cursors must
@@ -215,6 +219,12 @@ std::vector<NodeId> HierDaemon::group_members(int level) const {
 membership::Epoch HierDaemon::epoch_of(int level) const {
   if (level < 0 || level >= config_.max_ttl) return 0;
   return levels_[level]->epoch;
+}
+
+size_t HierDaemon::pending_exchanges(int level) const {
+  if (level < 0 || level >= config_.max_ttl) return 0;
+  const LevelState& ls = *levels_[level];
+  return ls.pending_syncs.size() + (ls.pending_bootstrap ? 1u : 0u);
 }
 
 // --- periodic work ------------------------------------------------------------
@@ -311,6 +321,7 @@ void HierDaemon::on_member_dead(int level, NodeId member) {
   const Incarnation lost_incarnation =
       lost_entry ? lost_entry->data.incarnation : 0;
   ls.members.erase(it);
+  prune_pending(ls, member);
 
   TAMP_LOG(Info) << "hier node " << self_ << " detects member " << member
                  << " dead at level " << level;
@@ -394,7 +405,7 @@ void HierDaemon::on_data_packet(const net::Packet& packet) {
   const sim::Time arrived = sim_.now();
   if (arrival.last_received > 0 && !arrival.out_log.empty() &&
       arrived - arrival.last_received > level_timeout(level)) {
-    arrival.out_log.clear();
+    clear_out_log(arrival);
     ++stats_.deaf_backlogs_dropped;
   }
   arrival.last_received = arrived;
@@ -424,8 +435,14 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
           const int req_level =
               msg.level < config_.max_ttl ? static_cast<int>(msg.level) : 0;
           // Symmetric exchange: absorb what the newcomer knows (it may be a
-          // lower-level leader bringing a subtree), then send our view.
+          // lower-level leader bringing a subtree) — cheap inbound work that
+          // happens even when the O(N) image serve below is refused.
           absorb_entries(msg.known, msg.requester, 0);
+          if (!admit_image_serve()) {
+            send_busy(msg.requester, static_cast<uint8_t>(req_level),
+                      BusyKind::kBootstrap);
+            return;
+          }
           ++stats_.bootstraps_served;
           BootstrapResponseMsg response;
           response.responder = self_;
@@ -439,16 +456,25 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
         } else if constexpr (std::is_same_v<T, BootstrapResponseMsg>) {
           const int arrival =
               msg.level < config_.max_ttl ? static_cast<int>(msg.level) : 0;
+          LevelState& ls = *levels_[arrival];
           // A full image from a responder whose leadership of this channel
           // was superseded is itself stale: don't absorb it, the live
           // leader's traffic is already re-seeding us.
-          if (fenced_stale(*levels_[arrival], msg.responder, msg.epoch,
+          if (fenced_stale(ls, msg.responder, msg.epoch,
                            msg.responder_incarnation)) {
             ++stats_.stale_epoch_rejects;
             return;
           }
+          // The exchange completed: only now is the level bootstrapped. A
+          // lost response leaves the flag down and the retry timer running.
+          if (ls.joined) ls.bootstrapped = true;
+          ls.pending_bootstrap.reset();
           absorb_entries(msg.entries, msg.responder, arrival);
         } else if constexpr (std::is_same_v<T, SyncRequestMsg>) {
+          if (!admit_image_serve()) {
+            send_busy(msg.requester, msg.level, BusyKind::kSync);
+            return;
+          }
           ++stats_.syncs_served;
           SyncResponseMsg response;
           response.responder = self_;
@@ -477,6 +503,8 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
               ++stats_.stale_epoch_rejects;
               return;
             }
+            // The poll was answered; stop the retry timer for it.
+            levels_[level]->pending_syncs.erase(msg.responder);
             // The image covers everything up to the responder's current
             // stream position: re-anchor our cursor there.
             auto& in_seq = levels_[level]->in_seq;
@@ -500,6 +528,8 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
               levels_[level]->joined && levels_[level]->electing) {
             levels_[level]->answered = true;
           }
+        } else if constexpr (std::is_same_v<T, BusyMsg>) {
+          on_busy(msg);
         }
       },
       *message);
@@ -515,6 +545,7 @@ void HierDaemon::on_heartbeat(int level, const HeartbeatMsg& msg) {
     // Voluntary channel departure: the node is alive, just out of earshot
     // here. Drop the membership bookkeeping without any death semantics.
     ls.members.erase(sender);
+    prune_pending(ls, sender);
     if (ls.leader == sender) {
       ls.leader = membership::kInvalidNode;
       ls.backup_grace_timer->restart(config_.backup_grace);
@@ -569,8 +600,8 @@ void HierDaemon::on_heartbeat(int level, const HeartbeatMsg& msg) {
   } else if (cursor->second.incarnation == msg.entry.incarnation &&
              msg.seq > cursor->second.seq) {
     // Cursor only advances when the recovery actually lands (update or
-    // sync response): a lost poll is retried on the next heartbeat.
-    request_sync(level, sender, cursor->second.seq);
+    // sync response): a lost poll is retried by the exchange's own timer.
+    request_sync(level, sender, msg.seq);
   }
 
   if (stale_claim) {
@@ -658,7 +689,6 @@ void HierDaemon::on_update(int level, const UpdateMsg& msg) {
             });
 
   const uint64_t newest = ordered.back()->seq;
-  const uint64_t oldest = ordered.front()->seq;
   auto cursor = ls.in_seq.find(msg.origin);
 
   if (cursor == ls.in_seq.end() ||
@@ -677,12 +707,15 @@ void HierDaemon::on_update(int level, const UpdateMsg& msg) {
 
   const uint64_t known = cursor->second.seq;
   if (newest <= known) return;  // stale duplicate
-  if (oldest > known + 1) {
-    // Unrecoverable gap even with the piggybacked history: poll the origin
-    // for a full image (paper Message Loss Detection). The cursor stays put
-    // so the gap keeps being visible until the poll succeeds; the present
+  if (msg.window_base > known) {
+    // Records in (known, window_base] were trimmed out of the origin's
+    // bounded log — unrecoverable from this message even with the
+    // piggybacked history: poll the origin for a full image (paper Message
+    // Loss Detection). Holes above window_base are compaction, not loss
+    // (the shadowing record is in the message). The cursor stays put so
+    // the gap keeps being visible until the poll succeeds; the present
     // records are still applied (idempotent).
-    request_sync(level, msg.origin, known);
+    request_sync(level, msg.origin, newest);
     for (const auto* record : ordered) {
       if (record->seq > known) process_record(*record, msg.origin, level);
     }
@@ -821,6 +854,9 @@ void HierDaemon::become_leader(int level) {
   ls.i_am_leader = true;
   ls.leader = self_;
   ls.my_backup = pick_backup(level);
+  // Our own view is now the group's authority; an outstanding bootstrap
+  // poll (to a dead or demoted leader) is moot.
+  ls.pending_bootstrap.reset();
   // Mint a new leadership epoch above everything heard on this channel, and
   // fence the predecessor we are succeeding: its claims (and replayed
   // updates) below the new epoch are stale from this moment on.
@@ -892,16 +928,16 @@ void HierDaemon::adopt_epoch(int level, membership::Epoch epoch,
   ++stats_.epochs_superseded;
   TAMP_LOG(Info) << "hier node " << self_ << " superseded at level " << level
                  << " (epoch " << epoch << "), abdicating";
-  ls.out_log.clear();
+  clear_out_log(ls);
   ls.leader = new_leader;
   abdicate(level);
+  ls.bootstrapped = false;
+  ls.pending_bootstrap.reset();  // any in-flight poll aimed at old leadership
   if (new_leader != membership::kInvalidNode) {
     request_bootstrap(level, new_leader);
-  } else {
-    // Leader unknown yet: re-pull from whoever we next hear claiming the
-    // channel with a live epoch.
-    ls.bootstrapped = false;
   }
+  // Else: leader unknown yet — re-pull from whoever we next hear claiming
+  // the channel with a live epoch.
 }
 
 void HierDaemon::raise_fence(LevelState& ls, NodeId node,
@@ -1074,7 +1110,7 @@ void HierDaemon::emit_batch(int level,
   // backlog stamped while cut off must not ride out on the piggyback.
   if (ls.last_received > 0 && !ls.out_log.empty() &&
       sim_.now() - ls.last_received > level_timeout(level)) {
-    ls.out_log.clear();
+    clear_out_log(ls);
     ++stats_.deaf_backlogs_dropped;
   }
 
@@ -1091,16 +1127,47 @@ void HierDaemon::emit_batch(int level,
     stamped.epoch = ls.epoch;
     ls.out_log.push_front(stamped);
   }
-  for (size_t i = 0; i < batch.size() + prior && i < ls.out_log.size(); ++i) {
-    msg.records.push_back(ls.out_log[i]);
+  // Compaction: a record shadowed by a newer record for the same subject at
+  // an incarnation at least as new is dead weight — the shadower alone
+  // produces the same final table state at every receiver. Coalescing lets
+  // the bounded log cover a longer seq window, so fewer losses escalate to
+  // full-image syncs. The holes this opens are safe for window_base: the
+  // shadower sits at a higher seq in the same log, so any compacted seq
+  // inside a sent window is covered by a record in that window.
+  {
+    std::map<NodeId, Incarnation> newest;
+    for (auto it = ls.out_log.begin(); it != ls.out_log.end();) {
+      auto seen = newest.find(it->subject);
+      if (seen != newest.end() && it->incarnation <= seen->second) {
+        it = ls.out_log.erase(it);
+        ++stats_.out_log_compacted;
+      } else {
+        auto& inc = newest[it->subject];
+        inc = std::max(inc, it->incarnation);
+        ++it;
+      }
+    }
   }
+  const size_t send = std::min(batch.size() + prior, ls.out_log.size());
+  for (size_t i = 0; i < send; ++i) msg.records.push_back(ls.out_log[i]);
+  // Everything above window_base that still matters rides in this message:
+  // either the next retained-but-unsent record's seq, or the trim watermark
+  // when the whole log fits.
+  msg.window_base =
+      send < ls.out_log.size() ? ls.out_log[send].seq : ls.out_log_base;
   while (ls.out_log.size() >
          static_cast<size_t>(std::max(config_.piggyback + 1, 8))) {
+    ls.out_log_base = std::max(ls.out_log_base, ls.out_log.back().seq);
     ls.out_log.pop_back();
   }
   net_.send_multicast(self_, channel_of(level), ttl_of(level),
                       config_.data_port, encode_message(msg));
   ++stats_.updates_sent;
+}
+
+void HierDaemon::clear_out_log(LevelState& ls) {
+  ls.out_log.clear();
+  ls.out_log_base = ls.out_seq;
 }
 
 void HierDaemon::send_state_refresh(int level, bool subtree_only) {
@@ -1125,36 +1192,184 @@ void HierDaemon::send_state_refresh(int level, bool subtree_only) {
 
 // --- bootstrap / sync -------------------------------------------------------
 
-void HierDaemon::request_sync(int level, NodeId origin, uint64_t last_seq) {
+void HierDaemon::request_sync(int level, NodeId origin, uint64_t observed_seq) {
   LevelState& ls = level_state(level);
-  const sim::Time now = sim_.now();
-  auto last = ls.last_sync_request.find(origin);
-  if (last != ls.last_sync_request.end() &&
-      now - last->second < 2 * config_.period) {
-    return;  // a poll is already in flight; don't storm the origin
+  auto it = ls.pending_syncs.find(origin);
+  if (it != ls.pending_syncs.end()) {
+    if (!it->second->exhausted) return;  // a poll is already in flight
+    // The attempt budget on this origin is spent and it is still ahead of
+    // us: stop polling and anchor the cursor past the gap instead. The
+    // anti-entropy refresh re-announces whatever the lost stretch carried,
+    // and orphan expiry removes what it should have removed.
+    auto cursor = ls.in_seq.find(origin);
+    if (cursor != ls.in_seq.end() && observed_seq > cursor->second.seq) {
+      cursor->second.seq = observed_seq;
+    }
+    ls.pending_syncs.erase(it);
+    return;
   }
-  ls.last_sync_request[origin] = now;
+  auto pending = std::make_unique<LevelState::PendingExchange>();
+  pending->target = origin;
+  pending->timer = std::make_unique<sim::OneShotTimer>(
+      sim_, [this, level, origin] { sync_retry(level, origin); });
+  ls.pending_syncs.emplace(origin, std::move(pending));
+  send_sync_request(level, origin);
+}
+
+void HierDaemon::send_sync_request(int level, NodeId origin) {
+  LevelState& ls = level_state(level);
+  auto it = ls.pending_syncs.find(origin);
+  if (it == ls.pending_syncs.end()) return;
   ++stats_.syncs_requested;
   SyncRequestMsg request;
   request.requester = self_;
   request.level = static_cast<uint8_t>(level);
-  request.last_seq_seen = last_seq;
+  // The live cursor, not the one captured when the exchange opened: an
+  // intervening update may have advanced it.
+  auto cursor = ls.in_seq.find(origin);
+  request.last_seq_seen = cursor != ls.in_seq.end() ? cursor->second.seq : 0;
   request.epoch = ls.epoch;
   net_.send_unicast(self_, net::Address{origin, config_.control_port},
                     encode_message(request));
+  it->second->timer->restart(
+      config_.exchange_retry.delay(it->second->attempts, sim_.rng()));
+  ++it->second->attempts;
+}
+
+void HierDaemon::sync_retry(int level, NodeId origin) {
+  LevelState& ls = level_state(level);
+  auto it = ls.pending_syncs.find(origin);
+  if (it == ls.pending_syncs.end() || it->second->exhausted) return;
+  if (config_.exchange_retry.exhausted(it->second->attempts)) {
+    // The slot stays (marking the origin as hopeless for now) until the
+    // next gap sighting anchors past it; it must not be destroyed here,
+    // inside its own timer's callback.
+    it->second->exhausted = true;
+    ++stats_.exchange_budget_exhausted;
+    return;
+  }
+  ++stats_.exchange_retries;
+  send_sync_request(level, origin);
 }
 
 void HierDaemon::request_bootstrap(int level, NodeId leader) {
   LevelState& ls = level_state(level);
-  ls.bootstrapped = true;
+  if (ls.pending_bootstrap && !ls.pending_bootstrap->exhausted &&
+      ls.pending_bootstrap->target == leader) {
+    return;  // a poll to this leader is already in flight
+  }
+  if (!ls.pending_bootstrap) {
+    ls.pending_bootstrap = std::make_unique<LevelState::PendingExchange>();
+    ls.pending_bootstrap->timer = std::make_unique<sim::OneShotTimer>(
+        sim_, [this, level] { bootstrap_retry(level); });
+  }
+  // Retarget (leadership moved) or restart after exhaustion: the attempt
+  // budget is per-exchange, and a fresh leader claim opens a fresh one.
+  ls.pending_bootstrap->target = leader;
+  ls.pending_bootstrap->attempts = 0;
+  ls.pending_bootstrap->exhausted = false;
+  send_bootstrap_request(level);
+}
+
+void HierDaemon::send_bootstrap_request(int level) {
+  LevelState& ls = level_state(level);
+  LevelState::PendingExchange& pending = *ls.pending_bootstrap;
   ++stats_.bootstraps_requested;
   BootstrapRequestMsg request;
   request.requester = self_;
   request.level = static_cast<uint8_t>(level);
   request.epoch = ls.epoch;
   request.known = full_view();
-  net_.send_unicast(self_, net::Address{leader, config_.control_port},
+  net_.send_unicast(self_, net::Address{pending.target, config_.control_port},
                     encode_message(request));
+  pending.timer->restart(
+      config_.exchange_retry.delay(pending.attempts, sim_.rng()));
+  ++pending.attempts;
+}
+
+void HierDaemon::bootstrap_retry(int level) {
+  LevelState& ls = level_state(level);
+  if (!ls.pending_bootstrap || ls.pending_bootstrap->exhausted) return;
+  if (config_.exchange_retry.exhausted(ls.pending_bootstrap->attempts)) {
+    // Budget spent on this leader: stop hammering it. `bootstrapped` stays
+    // false, so the next leader claim (heartbeat flag or COORDINATOR)
+    // re-opens the exchange — leader re-discovery is the escalation. The
+    // slot survives until then: destroying it here would free the timer
+    // whose callback this is.
+    ls.pending_bootstrap->exhausted = true;
+    ++stats_.exchange_budget_exhausted;
+    return;
+  }
+  ++stats_.exchange_retries;
+  send_bootstrap_request(level);
+}
+
+void HierDaemon::prune_pending(LevelState& ls, NodeId member) {
+  ls.pending_syncs.erase(member);
+  if (ls.pending_bootstrap && ls.pending_bootstrap->target == member) {
+    ls.pending_bootstrap.reset();
+  }
+}
+
+bool HierDaemon::admit_image_serve() {
+  if (config_.image_serve_budget == 0) return true;
+  const sim::Time now = sim_.now();
+  if (now - serve_window_start_ >= config_.period) {
+    serve_window_start_ = now;
+    serves_window_ = 0;
+    deferrals_window_ = 0;
+  }
+  if (serves_window_ < config_.image_serve_budget) {
+    ++serves_window_;
+    return true;
+  }
+  return false;
+}
+
+sim::Duration HierDaemon::busy_retry_after() {
+  // Deterministic stagger: successive refusals within one window are
+  // pointed at successively later windows, so a backlog of B requesters
+  // drains at `image_serve_budget` serves per period instead of all B
+  // re-colliding at the window rollover.
+  const sim::Duration until_next =
+      serve_window_start_ + config_.period - sim_.now();
+  const auto windows_ahead = static_cast<sim::Duration>(
+      deferrals_window_++ / config_.image_serve_budget);
+  return until_next + windows_ahead * config_.period;
+}
+
+void HierDaemon::send_busy(NodeId requester, uint8_t level, BusyKind kind) {
+  ++stats_.busy_sent;
+  BusyMsg busy;
+  busy.responder = self_;
+  busy.level = level;
+  busy.kind = kind;
+  busy.retry_after = busy_retry_after();
+  net_.send_unicast(self_, net::Address{requester, config_.control_port},
+                    encode_message(busy));
+}
+
+void HierDaemon::on_busy(const BusyMsg& msg) {
+  const int level =
+      msg.level < config_.max_ttl ? static_cast<int>(msg.level) : 0;
+  LevelState& ls = *levels_[level];
+  LevelState::PendingExchange* pending = nullptr;
+  if (msg.kind == BusyKind::kBootstrap) {
+    if (ls.pending_bootstrap && ls.pending_bootstrap->target == msg.responder) {
+      pending = ls.pending_bootstrap.get();
+    }
+  } else {
+    auto it = ls.pending_syncs.find(msg.responder);
+    if (it != ls.pending_syncs.end()) pending = it->second.get();
+  }
+  if (pending == nullptr || pending->exhausted) return;
+  ++stats_.busy_deferrals;
+  // Honor the deferral without consuming a retry attempt; the jitter
+  // spreads requesters that were handed the same retry_after.
+  const auto jitter = static_cast<sim::Duration>(sim_.rng().uniform_u64(
+      static_cast<uint64_t>(config_.period / 2) + 1));
+  pending->timer->restart(std::max<sim::Duration>(msg.retry_after, 1) +
+                          jitter);
 }
 
 std::vector<EntryData> HierDaemon::full_view() const {

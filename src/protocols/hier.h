@@ -49,6 +49,7 @@
 #include "protocols/daemon.h"
 #include "protocols/ports.h"
 #include "sim/timer.h"
+#include "util/retry.h"
 
 namespace tamp::protocols {
 
@@ -81,6 +82,16 @@ struct HierConfig {
   // relayed re-joins. Must exceed the piggyback replay horizon and be short
   // enough that healed partitions re-merge promptly.
   sim::Duration tombstone_ttl = 15 * sim::kSecond;
+  // Solicited request/response exchanges (bootstrap and sync polls) are
+  // retried under this policy until answered; at budget exhaustion the
+  // requester escalates instead (bootstrap: wait for the next leader claim;
+  // sync: anchor past the gap and let the anti-entropy refresh repair it).
+  util::RetryPolicy exchange_retry{sim::kSecond, 8 * sim::kSecond};
+  // Full-image serves (bootstrap + sync responses) admitted per `period`;
+  // overflow is answered with BusyMsg{retry_after} so a mass join or healed
+  // partition cannot turn a leader into an O(joiners) response burst.
+  // 0 = unlimited.
+  size_t image_serve_budget = 8;
 };
 
 struct HierStats {
@@ -103,6 +114,12 @@ struct HierStats {
   // Out-logs discarded after a deafness gap (no packets on a joined channel
   // for longer than its own failure timeout) instead of being replayed.
   uint64_t deaf_backlogs_dropped = 0;
+  // Overload-resilient recovery paths.
+  uint64_t exchange_retries = 0;  // solicited polls resent on timeout
+  uint64_t exchange_budget_exhausted = 0;  // exchanges that gave up retrying
+  uint64_t busy_sent = 0;       // image serves refused by admission control
+  uint64_t busy_deferrals = 0;  // Busy pushbacks honored as a requester
+  uint64_t out_log_compacted = 0;  // shadowed out-log records coalesced away
 };
 
 class HierDaemon : public MembershipDaemon {
@@ -122,6 +139,9 @@ class HierDaemon : public MembershipDaemon {
   std::vector<int> joined_levels() const;
   // Nodes currently heard directly on the given level's channel.
   std::vector<membership::NodeId> group_members(int level) const;
+  // In-flight solicited exchange slots (bootstrap + sync, exhausted ones
+  // included) tracked at `level` — bounded by the group size + 1.
+  size_t pending_exchanges(int level) const;
   const HierStats& stats() const { return stats_; }
   const HierConfig& config() const { return config_; }
   // Highest leadership epoch this node knows for `level` (its own minted
@@ -189,6 +209,12 @@ class HierDaemon : public MembershipDaemon {
 
     uint64_t out_seq = 0;
     std::deque<membership::UpdateRecord> out_log;      // newest at front
+    // Highest seq ever trimmed (popped or cleared) out of the out-log.
+    // Records compacted away as shadowed do NOT raise it: their shadower is
+    // still in the log at a higher seq and covers them. Feeds
+    // UpdateMsg::window_base so receivers can tell a compaction hole (fine)
+    // from trimmed-away history (needs a full-image sync).
+    uint64_t out_log_base = 0;
     // Per-origin receive cursor, scoped by the origin's incarnation: a
     // restarted origin starts a fresh stream at seq 0.
     struct InCursor {
@@ -196,8 +222,21 @@ class HierDaemon : public MembershipDaemon {
       uint64_t seq = 0;
     };
     std::unordered_map<membership::NodeId, InCursor> in_seq;
-    // Rate limit for gap-triggered sync polls, per origin.
-    std::unordered_map<membership::NodeId, sim::Time> last_sync_request;
+
+    // One in-flight solicited exchange: the unanswered poll's target, how
+    // many sends it has consumed, and the retry deadline. An `exhausted`
+    // slot has spent its attempt budget; it stays (deduplicating further
+    // triggers) until the escalation path or a pruning event clears it —
+    // never from inside its own timer callback.
+    struct PendingExchange {
+      membership::NodeId target = membership::kInvalidNode;
+      int attempts = 0;
+      bool exhausted = false;
+      std::unique_ptr<sim::OneShotTimer> timer;
+    };
+    std::unique_ptr<PendingExchange> pending_bootstrap;
+    std::map<membership::NodeId, std::unique_ptr<PendingExchange>>
+        pending_syncs;
 
     std::unique_ptr<sim::OneShotTimer> listen_timer;
     std::unique_ptr<sim::OneShotTimer> election_timer;
@@ -298,8 +337,34 @@ class HierDaemon : public MembershipDaemon {
                                              membership::Incarnation inc);
 
   // --- bootstrap / sync ----------------------------------------------------
+  // Open (or retarget) the level's bootstrap exchange towards `leader`.
+  // No-ops while a poll to the same leader is in flight; a fresh target or
+  // an exhausted slot starts over with a full attempt budget.
   void request_bootstrap(int level, membership::NodeId leader);
-  void request_sync(int level, membership::NodeId origin, uint64_t last_seq);
+  void send_bootstrap_request(int level);
+  void bootstrap_retry(int level);
+  // Open a sync exchange towards `origin` for this level's stream.
+  // `observed_seq` is the origin's advertised stream position that exposed
+  // the gap; when the exchange's budget is already exhausted it becomes the
+  // anchor: the cursor jumps past the gap and anti-entropy repairs the rest.
+  void request_sync(int level, membership::NodeId origin,
+                    uint64_t observed_seq);
+  void send_sync_request(int level, membership::NodeId origin);
+  void sync_retry(int level, membership::NodeId origin);
+  // Drop exchange slots aimed at a member that died or left the channel.
+  static void prune_pending(LevelState& ls, membership::NodeId member);
+  // Admission control for O(N) full-image serves: a per-period budget,
+  // refusals answered with BusyMsg naming a deterministic staggered
+  // retry_after (each refusal in a window is pointed one budget-slot
+  // further out, so the backlog drains at budget serves per period).
+  bool admit_image_serve();
+  sim::Duration busy_retry_after();
+  void send_busy(membership::NodeId requester, uint8_t level,
+                 membership::BusyKind kind);
+  void on_busy(const membership::BusyMsg& msg);
+  // Drop the out-log and advance the trim watermark so receivers behind
+  // out_seq are forced onto the full-image path.
+  void clear_out_log(LevelState& ls);
   std::vector<membership::EntryData> full_view() const;
   membership::NodeId provenance_tag(membership::NodeId subject,
                                     membership::NodeId proposed) const;
@@ -317,6 +382,11 @@ class HierDaemon : public MembershipDaemon {
   sim::PeriodicTimer refresh_timer_;
   HierStats stats_;
   uint64_t hb_seq_ = 0;
+  // Image-serve admission window (daemon-wide: the expensive part of a
+  // serve is the same full_view() whatever level asked for it).
+  sim::Time serve_window_start_ = 0;
+  size_t serves_window_ = 0;
+  uint64_t deferrals_window_ = 0;
 };
 
 }  // namespace tamp::protocols

@@ -135,6 +135,13 @@ void MembershipOracle::note_crash(size_t index) {
   for (auto& probe : probes_) {
     std::erase(probe.pending, index);
   }
+  for (auto& probe : join_probes_) {
+    std::erase(probe.pending, index);
+  }
+  // A revenant that crashed again owes nobody a reappearance.
+  std::erase_if(join_probes_, [&](const JoinProbe& probe) {
+    return probe.revenant_index == index;
+  });
 
   // New obligation: observers that knew the victim and can (still) be
   // reached from nothing-changed paths must detect within the bound.
@@ -161,6 +168,22 @@ void MembershipOracle::note_restart(size_t index) {
   std::erase_if(probes_, [&](const KillProbe& probe) {
     return probe.victim_index == index;
   });
+  // Invariant 9: open the mirror obligation — every currently running
+  // observer must (re)admit the revenant within the repair horizon.
+  std::erase_if(join_probes_, [&](const JoinProbe& probe) {
+    return probe.revenant_index == index;
+  });
+  JoinProbe join_probe;
+  join_probe.revenant_index = index;
+  join_probe.revenant = cluster_.hosts()[index];
+  join_probe.restarted_at = sim_.now();
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (i == index || !truth_[i].alive || truth_[i].paused) continue;
+    join_probe.pending.push_back(i);
+  }
+  if (!join_probe.pending.empty()) {
+    join_probes_.push_back(std::move(join_probe));
+  }
   // Cluster::restart builds a fresh daemon; re-claim its listener slot and
   // forget the old lifetime's epoch history (a fresh daemon restarts at 0).
   if (index < epoch_seen_.size()) {
@@ -178,6 +201,11 @@ void MembershipOracle::note_pause(size_t index) {
   truth_[index].last_disturbed = sim_.now();
   last_fault_ = sim_.now();
   for (auto& probe : probes_) std::erase(probe.pending, index);
+  for (auto& probe : join_probes_) std::erase(probe.pending, index);
+  // A paused revenant cannot announce itself; stop grading its rejoin.
+  std::erase_if(join_probes_, [&](const JoinProbe& probe) {
+    return probe.revenant_index == index;
+  });
 }
 
 void MembershipOracle::note_resume(size_t index) {
@@ -194,6 +222,7 @@ void MembershipOracle::note_network_fault(bool any_active) {
   // Detection probes cannot be graded across arbitrary network chaos; the
   // quiescent completeness check takes over from here.
   probes_.clear();
+  join_probes_.clear();
 }
 
 // --- reachability ------------------------------------------------------------
@@ -284,7 +313,11 @@ void MembershipOracle::tick() {
   ++checks_run_;
   check_phantoms();
   check_kill_probes();
-  if (cluster_.options().scheme == Scheme::kHierarchical) check_epochs();
+  check_join_probes();
+  if (cluster_.options().scheme == Scheme::kHierarchical) {
+    check_epochs();
+    check_solicited_rate();
+  }
   if (quiescent()) {
     check_completeness();
     if (cluster_.options().scheme == Scheme::kHierarchical) {
@@ -330,6 +363,97 @@ void MembershipOracle::check_kill_probes() {
     probe.pending.clear();
   }
   std::erase_if(probes_, [](const KillProbe& p) { return p.pending.empty(); });
+}
+
+void MembershipOracle::check_join_probes() {
+  // Invariant 9: bounded join propagation after a restart. Observers are
+  // released the moment their directory readmits the revenant; whoever is
+  // still pending when the repair horizon expires has lost the join.
+  const sim::Duration deadline = join_deadline();
+  const sim::Time now = sim_.now();
+  for (auto& probe : join_probes_) {
+    std::erase_if(probe.pending, [&](size_t observer) {
+      return truth_[observer].alive &&
+             cluster_.daemon(observer).table().contains(probe.revenant);
+    });
+    if (now - probe.restarted_at <= deadline) continue;
+    for (size_t observer : probe.pending) {
+      if (!truth_[observer].alive || truth_[observer].paused) continue;
+      // An observer disturbed after the restart restarts its own clock;
+      // the quiescent completeness check covers it instead.
+      if (truth_[observer].last_disturbed > probe.restarted_at) continue;
+      const net::HostId self = cluster_.hosts()[observer];
+      if (!is_reachable(probe.revenant, self) ||
+          !is_reachable(self, probe.revenant)) {
+        continue;  // cut off: nothing to grade
+      }
+      add_violation(
+          "join-bound", self, probe.revenant,
+          "restart at " + sim::format_time(probe.restarted_at) +
+              " still missing from this view after " +
+              sim::format_time(now - probe.restarted_at) + " (deadline " +
+              sim::format_time(deadline) + ")");
+    }
+    probe.pending.clear();
+  }
+  std::erase_if(join_probes_,
+                [](const JoinProbe& p) { return p.pending.empty(); });
+}
+
+void MembershipOracle::check_solicited_rate() {
+  // Invariant 10: solicited traffic stays bounded per daemon per check
+  // window. The serve side is capped mechanically by admission control
+  // (image_serve_budget full images per period); the request side by the
+  // pending-exchange dedup and its backed-off retries. A breach means the
+  // recovery path is amplifying load — the overload death-spiral
+  // signature the storm plans exist to provoke.
+  const HierConfig& cfg = cluster_.options().hier;
+  if (last_served_.empty()) {
+    last_served_.assign(cluster_.size(), 0);
+    last_requested_.assign(cluster_.size(), 0);
+  }
+  const int levels = std::max(1, std::min(cfg.max_ttl, topology_.max_ttl()));
+  // A check window spans this many serve windows, plus one for phase.
+  const uint64_t windows =
+      static_cast<uint64_t>(config_.check_interval /
+                            std::max<sim::Duration>(cfg.period, 1)) + 1;
+  const uint64_t serve_limit = windows * cfg.image_serve_budget + 2;
+  // At most one outstanding exchange per (level, peer), each sending at
+  // most once per second of backoff; doubled for window phase, plus slop
+  // for the burst when a heal exposes every peer's gap at once.
+  const uint64_t request_limit =
+      2 * static_cast<uint64_t>(levels) * cluster_.size() + 4;
+  const bool armed = sim_.now() >= config_.formation_grace;
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    HierDaemon* daemon = cluster_.hier_daemon(i);
+    if (daemon == nullptr) continue;
+    const HierStats& stats = daemon->stats();
+    const uint64_t served = stats.bootstraps_served + stats.syncs_served;
+    const uint64_t requested =
+        stats.bootstraps_requested + stats.syncs_requested;
+    const bool reset =
+        served < last_served_[i] || requested < last_requested_[i];
+    const uint64_t served_delta = reset ? 0 : served - last_served_[i];
+    const uint64_t requested_delta =
+        reset ? 0 : requested - last_requested_[i];
+    last_served_[i] = served;
+    last_requested_[i] = requested;
+    if (!armed || reset || !truth_[i].alive || truth_[i].paused) continue;
+    if (cfg.image_serve_budget > 0 && served_delta > serve_limit) {
+      add_violation(
+          "solicited-rate", cluster_.hosts()[i], membership::kInvalidNode,
+          "served " + std::to_string(served_delta) +
+              " full images in one check window (cap " +
+              std::to_string(serve_limit) + ")");
+    }
+    if (requested_delta > request_limit) {
+      add_violation(
+          "solicited-rate", cluster_.hosts()[i], membership::kInvalidNode,
+          "sent " + std::to_string(requested_delta) +
+              " solicited requests in one check window (cap " +
+              std::to_string(request_limit) + ")");
+    }
+  }
 }
 
 void MembershipOracle::check_epochs() {

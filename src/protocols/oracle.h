@@ -36,6 +36,15 @@
 //     earshot must stand down within the detection deadline — a stale
 //     claim that persists is exactly the state from which stale-replay
 //     purges propagate.
+//  9. Bounded join propagation (event-driven): after a restart, every
+//     running observer must (re)admit the revenant within the scheme's
+//     full repair horizon — graded per join, so a storm of later faults
+//     elsewhere cannot hide one node that never made it back in.
+// 10. Bounded solicited traffic (always, hierarchical): the per-daemon
+//     full-image serve rate stays within the admission-control budget and
+//     the solicited-request rate stays within what dedup'd, backed-off
+//     retries can produce. A breach means the recovery path is amplifying
+//     load instead of shedding it — the overload death-spiral signature.
 //
 // The first violation is captured with full context (invariant, observer,
 // subject, virtual time, detail) so a failing chaos scenario is
@@ -119,6 +128,11 @@ class MembershipOracle {
   sim::Duration quiesce_bound() const { return quiesce_; }
   // Bound × slack: the deadline actually enforced.
   sim::Duration detection_deadline() const;
+  // Invariant 9's per-join deadline: the scheme's full repair horizon
+  // (level-scaled for the hierarchical scheme via convergence + tombstone
+  // expiry + anti-entropy). Deliberately = quiesce_bound(), so every probe
+  // is graded before the scenario horizon runs out.
+  sim::Duration join_deadline() const { return quiesce_; }
 
  private:
   struct NodeTruth {
@@ -134,6 +148,14 @@ class MembershipOracle {
     sim::Time killed_at = 0;
     std::vector<size_t> pending;
   };
+  // Mirror obligation from a restart: every observer listed in `pending`
+  // must (re)admit the revenant by `restarted_at + join_deadline()`.
+  struct JoinProbe {
+    size_t revenant_index = 0;
+    membership::NodeId revenant = membership::kInvalidNode;
+    sim::Time restarted_at = 0;
+    std::vector<size_t> pending;
+  };
 
   void derive_bounds();
   void install_listener(size_t index);
@@ -147,7 +169,9 @@ class MembershipOracle {
   void tick();
   void check_phantoms();
   void check_kill_probes();
+  void check_join_probes();
   void check_epochs();
+  void check_solicited_rate();
   void check_completeness();
   void check_leader_uniqueness();
   void check_provenance();
@@ -163,6 +187,12 @@ class MembershipOracle {
 
   std::vector<NodeTruth> truth_;
   std::vector<KillProbe> probes_;
+  std::vector<JoinProbe> join_probes_;
+  // Previous check tick's solicited-traffic counters, per daemon
+  // (invariant 10; hierarchical only, sized lazily). A counter that went
+  // backwards means the daemon restarted: resync without grading.
+  std::vector<uint64_t> last_served_;
+  std::vector<uint64_t> last_requested_;
   // Per (observer, level) epoch bookkeeping for invariants 7-8 (hierarchical
   // only; sized lazily on first check). epoch_seen_ is the highest epoch the
   // observer has reported this lifetime; stale_claim_since_ is when it was

@@ -99,6 +99,12 @@ const char* plan_name(PlanKind kind) {
       return "pause-resume";
     case PlanKind::kUplinkFlap:
       return "uplink-flap";
+    case PlanKind::kJoinStorm:
+      return "join-storm";
+    case PlanKind::kRestartStorm:
+      return "restart-storm";
+    case PlanKind::kHealStorm:
+      return "heal-storm";
   }
   return "?";
 }
@@ -185,6 +191,48 @@ FaultPlan make_fault_plan(PlanKind kind, size_t nodes, size_t segment_size,
       at(0, UplinkDownFault{0});
       at(24, UplinkUpFault{0});
       break;
+    case PlanKind::kJoinStorm: {
+      // Take half the cluster down, let the survivors settle into a small
+      // stable tree, then bring every downed node back at the same instant:
+      // a bootstrap burst aimed squarely at the surviving leaders. Index 0
+      // stays up so the storm hits an established leadership.
+      const size_t joiners = nodes / 2;
+      for (size_t i = 0; i < joiners; ++i) at(0, CrashFault{1 + i});
+      for (size_t i = 0; i < joiners; ++i) at(25, RestartFault{1 + i});
+      break;
+    }
+    case PlanKind::kRestartStorm: {
+      // Two overlapping crash+restart waves over disjoint halves of
+      // [1, nodes): wave B goes down while wave A's recovery is still in
+      // flight, so the recovery paths churn against each other.
+      const size_t pool = nodes - 1;
+      const size_t wave_a = pool / 2;
+      for (size_t i = 0; i < wave_a; ++i) at(0, CrashFault{1 + i});
+      for (size_t i = 0; i < wave_a; ++i) at(6, RestartFault{1 + i});
+      for (size_t i = wave_a; i < pool; ++i) at(14, CrashFault{1 + i});
+      for (size_t i = wave_a; i < pool; ++i) at(20, RestartFault{1 + i});
+      break;
+    }
+    case PlanKind::kHealStorm: {
+      // Two islands cut at staggered times and healed together: the heal
+      // instant floods the survivors' leaders with merge traffic (mutual
+      // bootstraps, syncs, refreshes) from two directions at once.
+      std::vector<NodeIndex> island_a = island();
+      const size_t a_end = island_a.back() + 1;
+      size_t b_count = std::min(island_a.size(), nodes - a_end);
+      if (a_end + b_count >= nodes) {
+        b_count = nodes - a_end - 1;  // keep at least one mainland node
+      }
+      std::vector<NodeIndex> island_b;
+      for (size_t i = 0; i < b_count; ++i) island_b.push_back(a_end + i);
+      at(0, PartitionStartFault{1, island_a, /*symmetric=*/true});
+      if (!island_b.empty()) {
+        at(2, PartitionStartFault{2, island_b, /*symmetric=*/true});
+        at(24, PartitionEndFault{2});
+      }
+      at(24, PartitionEndFault{1});
+      break;
+    }
   }
 
   std::stable_sort(plan.events.begin(), plan.events.end(),

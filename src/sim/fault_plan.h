@@ -129,13 +129,20 @@ enum class PlanKind {
   kPauseResume,    // pause the leader across an election (stale-COORDINATOR
                    // replay on resume) + a short follower blip
   kUplinkFlap,     // segment uplink down/up (topology-level partition)
+  kJoinStorm,      // half the cluster joins at one instant (mass bootstrap:
+                   // the admission-control / retry-amplification stressor)
+  kRestartStorm,   // two overlapping waves of crash+restart across almost
+                   // every node (churn at recovery-path scale)
+  kHealStorm,      // two islands partitioned at staggered times, healed
+                   // together (mass view re-merge: sync/refresh stressor)
 };
 
 inline constexpr PlanKind kAllPlanKinds[] = {
     PlanKind::kCrashRestart, PlanKind::kPartitionHeal,
     PlanKind::kAsymmetricCut, PlanKind::kLossStorm,
     PlanKind::kLeaderKill,    PlanKind::kPauseResume,
-    PlanKind::kUplinkFlap,
+    PlanKind::kUplinkFlap,    PlanKind::kJoinStorm,
+    PlanKind::kRestartStorm,  PlanKind::kHealStorm,
 };
 
 const char* plan_name(PlanKind kind);

@@ -32,6 +32,7 @@ bool plan_applicable(Scheme scheme, PlanKind plan) {
     case PlanKind::kPartitionHeal:
     case PlanKind::kUplinkFlap:
     case PlanKind::kPauseResume:
+    case PlanKind::kHealStorm:
       return false;  // symmetric split: gossip has no rejoin path
     default:
       return true;
@@ -108,9 +109,9 @@ Overloaded(Ts...) -> Overloaded<Ts...>;
 // windows apply to every pair.
 class ChaosController : public net::FaultInjector {
  public:
-  Verdict verdict(net::HostId from, net::HostId to) override {
+  Verdict verdict(const net::Packet& packet) override {
     Verdict verdict;
-    if (cut(from, to)) {
+    if (cut(packet.from.host, packet.to.host)) {
       verdict.cut = true;
       return verdict;
     }
@@ -176,7 +177,14 @@ class ScenarioRunner {
       : spec_(spec), sim_(spec.seed) {
     TAMP_CHECK(spec_.nodes >= 6);
     build_topology();
-    net_ = std::make_unique<net::Network>(sim_, topo_);
+    // Finite NICs: storms must contend for egress like they would on real
+    // hardware. 100 Mbit/s with a ~256 KiB device queue — small enough that
+    // a naive mass-bootstrap burst visibly drops, large enough that the
+    // steady-state heartbeat load never touches it.
+    net::NetworkConfig net_config;
+    net_config.egress_bytes_per_sec = 12.5e6;
+    net_config.egress_queue_bytes = 256 * 1024;
+    net_ = std::make_unique<net::Network>(sim_, topo_, net_config);
     net_->set_fault_injector(&controller_);
 
     protocols::Cluster::Options opts;

@@ -1,0 +1,49 @@
+// Capped jittered exponential backoff with an attempt budget.
+//
+// Used by solicited request/response exchanges (bootstrap and sync polls):
+// each retry waits base * multiplier^attempt, capped, then spread by a
+// symmetric jitter factor so a cohort of requesters created by the same
+// event (mass join, healed partition) does not retry in lockstep. The
+// budget bounds how long a requester hammers one target before escalating
+// to a different recovery path.
+//
+// Durations are plain int64_t nanoseconds so util stays independent of the
+// simulation layer; callers pass sim::Duration values directly.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace tamp::util {
+
+struct RetryPolicy {
+  int64_t base = 0;        // first retry delay (ns)
+  int64_t cap = 0;         // upper bound on the backoff (ns)
+  double multiplier = 2.0;
+  double jitter = 0.5;     // delay drawn from [b*(1-j), b*(1+j)]
+  int budget = 5;          // attempts before the caller escalates
+
+  // True once `attempts` sends have gone unanswered.
+  bool exhausted(int attempts) const { return attempts >= budget; }
+
+  // Deterministic backoff midpoint for retry number `attempt` (0-based).
+  int64_t backoff(int attempt) const {
+    double b = static_cast<double>(base);
+    for (int i = 0; i < attempt && b < static_cast<double>(cap); ++i) {
+      b *= multiplier;
+    }
+    if (b > static_cast<double>(cap)) b = static_cast<double>(cap);
+    return static_cast<int64_t>(b);
+  }
+
+  // Jittered delay for retry number `attempt`.
+  int64_t delay(int attempt, Rng& rng) const {
+    int64_t b = backoff(attempt);
+    double spread = jitter * (2.0 * rng.uniform_double() - 1.0);
+    int64_t d = b + static_cast<int64_t>(static_cast<double>(b) * spread);
+    return d > 0 ? d : 1;
+  }
+};
+
+}  // namespace tamp::util

@@ -98,6 +98,15 @@ TEST_P(ChurnSoak, EventuallyConvergesWithConsistentNotifications) {
     EXPECT_TRUE(daemon->joined(0));
     EXPECT_NE(daemon->leader_of(0), membership::kInvalidNode)
         << "node " << daemon->self() << " has no level-0 leader";
+    // Pending-exchange bookkeeping must not leak across churn: per level,
+    // at most one outstanding sync per known member plus one bootstrap
+    // slot. (The old last_sync_request map grew monotonically here.)
+    for (int level = 0; level < opts.hier.max_ttl; ++level) {
+      EXPECT_LE(daemon->pending_exchanges(level),
+                cluster.size() + 1)
+          << "node " << daemon->self() << " leaked pending exchanges at level "
+          << level;
+    }
   }
 }
 

@@ -15,10 +15,9 @@ namespace {
 // traffic, or duplicate everything.
 class TestInjector : public net::FaultInjector {
  public:
-  Verdict verdict(net::HostId from, net::HostId to) override {
-    (void)to;
+  Verdict verdict(const net::Packet& packet) override {
     Verdict verdict;
-    if (from == cut_sender_) verdict.cut = true;
+    if (packet.from.host == cut_sender_) verdict.cut = true;
     verdict.duplicates = duplicates_;
     return verdict;
   }

@@ -49,6 +49,159 @@ struct RobustnessFixture : public ::testing::Test {
   }
 };
 
+// Drops the first `count` frames of one wire type, cluster-wide — surgical,
+// deterministic packet loss for regression-testing the solicited-exchange
+// retry paths. Matches on the raw frame prefix (version byte + type byte)
+// so the transport stays payload-agnostic.
+class DropFirstOfType : public net::FaultInjector {
+ public:
+  Verdict verdict(const net::Packet& p) override {
+    Verdict v;
+    if (remaining_ > 0 && p.size() >= 2 &&
+        p.data()[0] == membership::kWireVersionByte &&
+        p.data()[1] == static_cast<uint8_t>(type_)) {
+      --remaining_;
+      ++dropped_;
+      v.cut = true;
+    }
+    return v;
+  }
+  void arm(membership::MessageType type, int count = 1) {
+    type_ = type;
+    remaining_ = count;
+  }
+  int dropped() const { return dropped_; }
+
+ private:
+  membership::MessageType type_ = membership::MessageType::kHeartbeat;
+  int remaining_ = 0;
+  int dropped_ = 0;
+};
+
+// Losing the one BootstrapRequest a joiner sends must not strand it: with
+// anti-entropy disabled there is no other path to the full image, so the
+// pending-exchange retry has to re-send the request. (Before the retry
+// tracker existed the daemon marked itself bootstrapped at *send* time and
+// never asked again — this is the regression test for that bug.)
+TEST_F(RobustnessFixture, BootstrapRequestLostIsRetriedWithinBudget) {
+  Cluster::Options opts;
+  // Anti-entropy pushed far past the test horizon: recovery inside the
+  // window can only come from a re-sent bootstrap. (Not 0 — disabling
+  // refresh entirely also arms the short orphan-expiry timeout, which
+  // would start purging healthy relayed entries mid-test.)
+  opts.hier.refresh_interval = 1000 * sim::kSecond;
+  build(2, 5, opts);
+  DropFirstOfType injector;
+  net->set_fault_injector(&injector);
+
+  net::HostId revenant = layout.racks[1][3];
+  cluster->kill(index_of(revenant));
+  sim.run_until(sim.now() + 15 * sim::kSecond);
+  ASSERT_TRUE(cluster->converged());
+
+  injector.arm(membership::MessageType::kBootstrapRequest);
+  cluster->restart(index_of(revenant));
+  sim.run_until(sim.now() + 15 * sim::kSecond);
+
+  EXPECT_EQ(injector.dropped(), 1);
+  EXPECT_TRUE(cluster->converged())
+      << cluster->converged_count() << "/" << cluster->size();
+  auto* daemon = static_cast<HierDaemon*>(cluster->daemon_for(revenant));
+  EXPECT_EQ(daemon->view_size(), cluster->size())
+      << "joiner never recovered the full image";
+  EXPECT_GE(daemon->stats().exchange_retries, 1u);
+  EXPECT_GE(daemon->stats().bootstraps_requested, 2u);
+}
+
+// Same discipline on the reply path: the server's BootstrapResponse
+// evaporates, and the joiner must notice (no response before the retry
+// timer) and ask again rather than believing it is bootstrapped.
+TEST_F(RobustnessFixture, BootstrapResponseLostIsRetriedWithinBudget) {
+  Cluster::Options opts;
+  opts.hier.refresh_interval = 1000 * sim::kSecond;
+  build(2, 5, opts);
+  DropFirstOfType injector;
+  net->set_fault_injector(&injector);
+
+  net::HostId revenant = layout.racks[1][3];
+  cluster->kill(index_of(revenant));
+  sim.run_until(sim.now() + 15 * sim::kSecond);
+  ASSERT_TRUE(cluster->converged());
+
+  injector.arm(membership::MessageType::kBootstrapResponse);
+  cluster->restart(index_of(revenant));
+  sim.run_until(sim.now() + 15 * sim::kSecond);
+
+  EXPECT_EQ(injector.dropped(), 1);
+  EXPECT_TRUE(cluster->converged())
+      << cluster->converged_count() << "/" << cluster->size();
+  auto* daemon = static_cast<HierDaemon*>(cluster->daemon_for(revenant));
+  EXPECT_EQ(daemon->view_size(), cluster->size());
+  EXPECT_GE(daemon->stats().exchange_retries, 1u);
+}
+
+// The gap-recovery sync poll gets the same treatment: if the one
+// SyncRequest a receiver sends after noticing a stream gap is lost, the
+// retry must re-poll — pre-retry code remembered the request in
+// last_sync_request and never asked for that seq again.
+TEST_F(RobustnessFixture, SyncRequestLostIsRetriedWithinBudget) {
+  Cluster::Options opts;
+  opts.hier.refresh_interval = 120 * sim::kSecond;  // recovery = sync only
+  build(3, 5, opts);
+  DropFirstOfType injector;
+  net->set_fault_injector(&injector);
+
+  // Lose a node, blackout the window where its LEAVE updates are relayed,
+  // then heal: receivers notice the advertised gap and poll for repair.
+  net::HostId victim = layout.racks[0][4];
+  cluster->kill(index_of(victim));
+  sim.run_until(sim.now() + 3500 * sim::kMillisecond);
+  net->set_extra_loss(1.0);
+  sim.run_until(sim.now() + 3 * sim::kSecond);
+  net->set_extra_loss(0.0);
+  injector.arm(membership::MessageType::kSyncRequest);
+  sim.run_until(sim.now() + 12 * sim::kSecond);
+
+  EXPECT_EQ(injector.dropped(), 1);
+  EXPECT_TRUE(cluster->converged())
+      << cluster->converged_count() << "/" << cluster->size();
+  uint64_t retries = 0;
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    auto* d = cluster->hier_daemon(i);
+    if (d->running()) retries += d->stats().exchange_retries;
+  }
+  EXPECT_GE(retries, 1u);
+}
+
+// And the reply path: a lost SyncResponse leaves the requester's cursor
+// behind, so its pending exchange must fire again until the image lands.
+TEST_F(RobustnessFixture, SyncResponseLostIsRetriedWithinBudget) {
+  Cluster::Options opts;
+  opts.hier.refresh_interval = 120 * sim::kSecond;
+  build(3, 5, opts);
+  DropFirstOfType injector;
+  net->set_fault_injector(&injector);
+
+  net::HostId victim = layout.racks[0][4];
+  cluster->kill(index_of(victim));
+  sim.run_until(sim.now() + 3500 * sim::kMillisecond);
+  net->set_extra_loss(1.0);
+  sim.run_until(sim.now() + 3 * sim::kSecond);
+  net->set_extra_loss(0.0);
+  injector.arm(membership::MessageType::kSyncResponse);
+  sim.run_until(sim.now() + 12 * sim::kSecond);
+
+  EXPECT_EQ(injector.dropped(), 1);
+  EXPECT_TRUE(cluster->converged())
+      << cluster->converged_count() << "/" << cluster->size();
+  uint64_t retries = 0;
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    auto* d = cluster->hier_daemon(i);
+    if (d->running()) retries += d->stats().exchange_retries;
+  }
+  EXPECT_GE(retries, 1u);
+}
+
 // Killing a level-0 leader must not produce *any* leave notification for a
 // node that is still alive (no view flapping during failover) — the
 // backup-takeover guard plus graceful goodbyes at work.

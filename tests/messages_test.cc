@@ -47,6 +47,7 @@ TEST(Messages, UpdateRoundTrip) {
   UpdateMsg msg;
   msg.origin = 3;
   msg.epoch = 5;
+  msg.window_base = 9;
   UpdateRecord join;
   join.seq = 10;
   join.kind = UpdateKind::kJoin;
@@ -65,6 +66,7 @@ TEST(Messages, UpdateRoundTrip) {
   ASSERT_EQ(out.records.size(), 2u);
   EXPECT_EQ(out.origin, 3u);
   EXPECT_EQ(out.epoch, 5u);
+  EXPECT_EQ(out.window_base, 9u);
   EXPECT_EQ(out.records[0].kind, UpdateKind::kJoin);
   ASSERT_TRUE(out.records[0].entry.has_value());
   EXPECT_EQ(*out.records[0].entry, *join.entry);
@@ -145,6 +147,27 @@ TEST(Messages, ElectionRoundTrips) {
   EXPECT_EQ(bare.prev, kInvalidNode);
   EXPECT_EQ(bare.leader_incarnation, 0u);
   EXPECT_EQ(bare.prev_incarnation, 0u);
+}
+
+TEST(Messages, BusyRoundTrip) {
+  BusyMsg msg;
+  msg.responder = 21;
+  msg.level = 1;
+  msg.kind = BusyKind::kSync;
+  msg.retry_after = 1500000000;  // 1.5 s in ns
+  auto out = round_trip(msg);
+  EXPECT_EQ(out.responder, 21u);
+  EXPECT_EQ(out.level, 1);
+  EXPECT_EQ(out.kind, BusyKind::kSync);
+  EXPECT_EQ(out.retry_after, 1500000000);
+
+  // An out-of-range deferral kind is rejected, not misparsed.
+  auto payload = encode_message(Message{msg});
+  auto decoded = decode_message(payload->data(), payload->size());
+  ASSERT_TRUE(decoded.has_value());
+  std::vector<uint8_t> bad(*payload);
+  bad[2 + 4 + 1] = 99;  // version, type, responder u32, level u8 -> kind
+  EXPECT_FALSE(decode_message(bad.data(), bad.size()).has_value());
 }
 
 TEST(Messages, VersionByteGatesDecoding) {
@@ -249,6 +272,7 @@ TEST(Messages, MalformedInputsRejected) {
                         1, 0, 0, 0 /*origin*/,
                         0, 0, 0, 0, 0, 0, 0, 0 /*origin incarnation*/,
                         0 /*epoch varint*/,
+                        0 /*window_base varint*/,
                         1 /*count varint*/,
                         0, 0, 0, 0, 0, 0, 0, 0 /*seq*/,
                         99 /*bad kind*/};
