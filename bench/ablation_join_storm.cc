@@ -9,9 +9,11 @@
 // bursts; with it the serves drain at `image_serve_budget` per period and
 // the overflow is deferred with Busy pushback.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "net/builders.h"
+#include "obs/obs.h"
 #include "protocols/cluster.h"
 #include "util/flags.h"
 
@@ -26,10 +28,12 @@ struct StormResult {
   uint64_t busy_deferrals = 0;
   uint64_t exchange_retries = 0;
   uint64_t tx_dropped_egress = 0;
+  std::string trace_jsonl;   // filled when tracing is on
+  std::string metrics_json;  // filled when a metrics dump was requested
 };
 
 StormResult measure_storm(int nodes, int joiners, bool admission,
-                          uint64_t seed) {
+                          uint64_t seed, bool trace, bool metrics) {
   sim::Simulation sim(seed);
   net::Topology topo;
   net::RackedClusterParams params;
@@ -45,6 +49,7 @@ StormResult measure_storm(int nodes, int joiners, bool admission,
   net_config.egress_bytes_per_sec = 12.5e6;
   net_config.egress_queue_bytes = 256 * 1024;
   net::Network net(sim, topo, net_config);
+  if (trace) net.obs().tracer.set_enabled(true);
 
   protocols::Cluster::Options opts;
   opts.scheme = protocols::Scheme::kHierarchical;
@@ -68,7 +73,8 @@ StormResult measure_storm(int nodes, int joiners, bool admission,
   StormResult result;
   if (!cluster.converged()) return result;  // survivors never settled
 
-  net.reset_stats();
+  obs::MetricsRegistry& registry = net.obs().metrics;
+  registry.reset(obs::Protocol::kNet);
   const sim::Time storm_at = sim.now();
   for (size_t index : down) cluster.restart(index);
 
@@ -79,7 +85,8 @@ StormResult measure_storm(int nodes, int joiners, bool admission,
   while (sim.now() - storm_at < deadline) {
     sim.run_until(sim.now() + window);
     for (size_t i = 0; i < layout.hosts.size(); ++i) {
-      uint64_t tx = net.stats(layout.hosts[i]).tx_wire_bytes;
+      uint64_t tx = registry.counter_value(obs::Protocol::kNet,
+                                           "tx_wire_bytes", layout.hosts[i]);
       double rate = static_cast<double>(tx - prev_tx[i]) /
                     sim::to_seconds(window);
       if (rate > result.peak_node_bytes_per_s) {
@@ -95,14 +102,16 @@ StormResult measure_storm(int nodes, int joiners, bool admission,
     }
   }
 
-  for (size_t i = 0; i < cluster.size(); ++i) {
-    auto* daemon = cluster.hier_daemon(i);
-    if (daemon == nullptr) continue;
-    result.busy_sent += daemon->stats().busy_sent;
-    result.busy_deferrals += daemon->stats().busy_deferrals;
-    result.exchange_retries += daemon->stats().exchange_retries;
-  }
-  result.tx_dropped_egress = net.total_stats().tx_dropped_egress;
+  result.busy_sent =
+      registry.counter_sum_over_nodes(obs::Protocol::kHier, "busy_sent");
+  result.busy_deferrals =
+      registry.counter_sum_over_nodes(obs::Protocol::kHier, "busy_deferrals");
+  result.exchange_retries = registry.counter_sum_over_nodes(
+      obs::Protocol::kHier, "exchange_retries");
+  result.tx_dropped_egress =
+      registry.counter_value(obs::Protocol::kNet, "tx_dropped_egress");
+  if (trace) result.trace_jsonl = net.obs().tracer.to_jsonl();
+  if (metrics) result.metrics_json = registry.to_json();
   return result;
 }
 
@@ -112,7 +121,30 @@ int main(int argc, char** argv) {
   util::FlagSet flags("ablation_join_storm");
   auto& nodes = flags.add_int("nodes", 128, "cluster size");
   auto& seed = flags.add_int("seed", 5, "rng seed");
+  auto& trace_flag = flags.add_string(
+      "trace", "", "append each run's structured event trace (JSONL,"
+                   " byte-identical per seed) to this file");
+  auto& metrics_flag = flags.add_string(
+      "metrics", "", "append each run's metrics-registry snapshot (JSON)"
+                     " to this file");
   flags.parse(argc, argv);
+
+  std::FILE* trace_out = nullptr;
+  if (!trace_flag.empty()) {
+    trace_out = std::fopen(trace_flag.c_str(), "w");
+    if (trace_out == nullptr) {
+      std::fprintf(stderr, "cannot open --trace=%s\n", trace_flag.c_str());
+      return 2;
+    }
+  }
+  std::FILE* metrics_out = nullptr;
+  if (!metrics_flag.empty()) {
+    metrics_out = std::fopen(metrics_flag.c_str(), "w");
+    if (metrics_out == nullptr) {
+      std::fprintf(stderr, "cannot open --metrics=%s\n", metrics_flag.c_str());
+      return 2;
+    }
+  }
 
   std::printf(
       "Ablation — join-storm recovery vs. admission control (n=%lld,"
@@ -126,7 +158,21 @@ int main(int argc, char** argv) {
   for (int joiners : storm_sizes) {
     for (bool admission : {true, false}) {
       StormResult r = measure_storm(static_cast<int>(nodes), joiners,
-                                    admission, static_cast<uint64_t>(seed));
+                                    admission, static_cast<uint64_t>(seed),
+                                    trace_out != nullptr,
+                                    metrics_out != nullptr);
+      if (trace_out != nullptr) {
+        std::fprintf(trace_out,
+                     "{\"run\":\"joiners=%d admission=%s\"}\n", joiners,
+                     admission ? "on" : "off");
+        std::fputs(r.trace_jsonl.c_str(), trace_out);
+      }
+      if (metrics_out != nullptr) {
+        std::fprintf(metrics_out,
+                     "{\"run\":\"joiners=%d admission=%s\"}\n", joiners,
+                     admission ? "on" : "off");
+        std::fprintf(metrics_out, "%s\n", r.metrics_json.c_str());
+      }
       std::printf("%8d %10s %11.2f %14.3f %9llu %10llu %8llu %9llu\n",
                   joiners, admission ? "on" : "off", r.converge_s,
                   r.peak_node_bytes_per_s / 1e6,
@@ -148,6 +194,8 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.tx_dropped_egress));
     }
   }
+  if (trace_out != nullptr) std::fclose(trace_out);
+  if (metrics_out != nullptr) std::fclose(metrics_out);
   std::printf(
       "\nshape check: with admission on, peak per-node bandwidth stays"
       " near the steady-state envelope as joiners grow (overflow turns"

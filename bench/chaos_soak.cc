@@ -4,7 +4,10 @@
 //
 //   bench/chaos_soak --scheme=hierarchical --shape=racked --plan=leader-kill --seed=3
 //   bench/chaos_soak --plan=all --runs=20        # soak: 20 seeds x 7 plans
+//   bench/chaos_soak --trace=trace.jsonl         # deterministic event trace
+//   bench/chaos_soak --metrics=metrics.json      # registry snapshots
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "sim/scenario.h"
@@ -27,6 +30,12 @@ int main(int argc, char** argv) {
   auto& nodes_flag = flags.add_int("nodes", 12, "cluster size");
   auto& verbose_flag =
       flags.add_bool("verbose", false, "log each fault as it fires");
+  auto& trace_flag = flags.add_string(
+      "trace", "", "append each scenario's structured event trace (JSONL,"
+                   " byte-identical per seed) to this file");
+  auto& metrics_flag = flags.add_string(
+      "metrics", "", "append each scenario's metrics-registry snapshot"
+                     " (JSON) to this file");
   flags.parse(argc, argv);
 
   if (verbose_flag) {
@@ -72,6 +81,23 @@ int main(int argc, char** argv) {
     plans = {plan};
   }
 
+  std::FILE* trace_out = nullptr;
+  if (!trace_flag.empty()) {
+    trace_out = std::fopen(trace_flag.c_str(), "w");
+    if (trace_out == nullptr) {
+      std::fprintf(stderr, "cannot open --trace=%s\n", trace_flag.c_str());
+      return 2;
+    }
+  }
+  std::FILE* metrics_out = nullptr;
+  if (!metrics_flag.empty()) {
+    metrics_out = std::fopen(metrics_flag.c_str(), "w");
+    if (metrics_out == nullptr) {
+      std::fprintf(stderr, "cannot open --metrics=%s\n", metrics_flag.c_str());
+      return 2;
+    }
+  }
+
   int ran = 0;
   int skipped = 0;
   int failed = 0;
@@ -85,12 +111,24 @@ int main(int argc, char** argv) {
           spec.plan = plan;
           spec.seed = static_cast<uint64_t>(seed_flag + run);
           spec.nodes = static_cast<size_t>(nodes_flag);
+          spec.trace = trace_out != nullptr;
+          spec.metrics = metrics_out != nullptr;
           if (!chaos::plan_applicable(scheme, plan)) {
             ++skipped;
             continue;
           }
           chaos::ScenarioResult result = chaos::run_scenario(spec);
           ++ran;
+          if (trace_out != nullptr) {
+            std::fprintf(trace_out, "{\"scenario\":\"%s\"}\n",
+                         result.name.c_str());
+            std::fputs(result.trace_jsonl.c_str(), trace_out);
+          }
+          if (metrics_out != nullptr) {
+            std::fprintf(metrics_out, "{\"scenario\":\"%s\"}\n",
+                         result.name.c_str());
+            std::fprintf(metrics_out, "%s\n", result.metrics_json.c_str());
+          }
           std::printf("%-4s %-55s horizon=%6.1fs events=%-8llu checks=%-4llu"
                       " converged=%zu/%zu\n",
                       result.passed ? "ok" : "FAIL", result.name.c_str(),
@@ -107,6 +145,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (trace_out != nullptr) std::fclose(trace_out);
+  if (metrics_out != nullptr) std::fclose(metrics_out);
   std::printf("chaos_soak: %d scenario(s), %d failed, %d skipped"
               " (inapplicable)\n",
               ran, failed, skipped);

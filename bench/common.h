@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/builders.h"
+#include "obs/obs.h"
 #include "protocols/cluster.h"
 #include "util/stats.h"
 
@@ -67,9 +68,11 @@ inline std::optional<double> measure_bandwidth(
   built.cluster->start_all();
   built.sim->run_until(settings.settle);
   if (!built.cluster->converged()) return std::nullopt;
-  built.network->reset_stats();
+  obs::MetricsRegistry& metrics = built.network->obs().metrics;
+  metrics.reset(obs::Protocol::kNet);
   built.sim->run_until(built.sim->now() + window);
-  return static_cast<double>(built.network->total_stats().rx_wire_bytes) /
+  return static_cast<double>(
+             metrics.counter_value(obs::Protocol::kNet, "rx_wire_bytes")) /
          sim::to_seconds(window);
 }
 

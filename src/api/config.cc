@@ -176,6 +176,21 @@ MembershipConfigBuilder& MembershipConfigBuilder::max_loss(
   config_.system.max_loss = consecutive_losses;
   return *this;
 }
+MembershipConfigBuilder& MembershipConfigBuilder::metrics_enabled(
+    bool enabled) {
+  config_.system.metrics_enabled = enabled;
+  return *this;
+}
+MembershipConfigBuilder& MembershipConfigBuilder::trace_capacity(
+    size_t capacity) {
+  config_.system.trace_capacity = capacity;
+  return *this;
+}
+MembershipConfigBuilder& MembershipConfigBuilder::trace_kinds_mask(
+    uint64_t mask) {
+  config_.system.trace_kinds_mask = mask;
+  return *this;
+}
 MembershipConfigBuilder& MembershipConfigBuilder::add_service(
     std::string name, std::string partition_spec,
     std::map<std::string, std::string> params) {
@@ -210,6 +225,13 @@ Status MembershipConfigBuilder::Build(MembershipConfig* out) const {
   }
   if (sys.mcast_addr.empty()) {
     return Status::Error("MCAST_ADDR must not be empty");
+  }
+  if (sys.trace_capacity < 1 || sys.trace_capacity > kMaxTraceCapacity) {
+    return Status::Error(strformat("trace_capacity must be in [1, %zu], got %zu",
+                                   kMaxTraceCapacity, sys.trace_capacity));
+  }
+  if ((sys.trace_kinds_mask & ~obs::kAllTraceKinds) != 0) {
+    return Status::Error("trace_kinds_mask names unknown trace kinds");
   }
   for (const auto& service : config_.services) {
     if (service.name.empty()) {

@@ -27,8 +27,14 @@
 
 #include "api/status.h"
 #include "net/ids.h"
+#include "obs/obs.h"
 
 namespace tamp::api {
+
+// Upper bound on the trace ring a service may configure (2^22 events ≈
+// 160 MiB of TraceEvent) — large enough for any soak, small enough that a
+// typo'd capacity cannot exhaust memory.
+inline constexpr size_t kMaxTraceCapacity = size_t{1} << 22;
 
 struct SystemConfig {
   int shm_key = 999;
@@ -37,6 +43,11 @@ struct SystemConfig {
   int mcast_port = 10050;
   double mcast_freq = 1.0;  // heartbeats per second
   int max_loss = 5;
+  // Observability (applied to the Network's registry/tracer by
+  // MService::run(), before the daemon resolves its counter handles).
+  bool metrics_enabled = true;
+  size_t trace_capacity = size_t{1} << 16;
+  uint64_t trace_kinds_mask = obs::kAllTraceKinds;
 };
 
 struct ServiceConfig {
@@ -88,6 +99,9 @@ class MembershipConfigBuilder {
   MembershipConfigBuilder& mcast_port(int port);
   MembershipConfigBuilder& mcast_freq(double heartbeats_per_second);
   MembershipConfigBuilder& max_loss(int consecutive_losses);
+  MembershipConfigBuilder& metrics_enabled(bool enabled);
+  MembershipConfigBuilder& trace_capacity(size_t capacity);
+  MembershipConfigBuilder& trace_kinds_mask(uint64_t mask);
   MembershipConfigBuilder& add_service(
       std::string name, std::string partition_spec = "0",
       std::map<std::string, std::string> params = {});

@@ -1,6 +1,7 @@
 #include "api/mservice.h"
 
 #include "membership/codec.h"
+#include "membership/messages.h"
 #include "util/check.h"
 #include "util/strings.h"
 
@@ -45,6 +46,70 @@ ControlResponse MService::control(const ControlRequest& request) {
     if (response.status.ok()) config_ = std::move(validated);
   };
 
+  if (const auto* metrics = std::get_if<MetricsQuery>(&request)) {
+    if (metrics->version != kControlApiVersion) {
+      response.status = Status::Error(
+          "MetricsQuery version " + std::to_string(metrics->version) +
+          " not supported (this service speaks v" +
+          std::to_string(kControlApiVersion) + ")");
+      return response;
+    }
+    if (metrics->name_filter.size() > 256) {
+      response.status = Status::Error("name_filter exceeds 256 characters");
+      return response;
+    }
+    if (metrics->max_results < 1 || metrics->max_results > 4096) {
+      response.status =
+          Status::Error("max_results must be in [1, 4096], got " +
+                        std::to_string(metrics->max_results));
+      return response;
+    }
+    if (daemon_ == nullptr || !daemon_->running()) {
+      response.status = Status::Error("metrics query requires run()");
+      return response;
+    }
+    net_.obs().metrics.visit_counters(
+        [&](const obs::MetricsRegistry::CounterRow& row) {
+          if (row.protocol != obs::Protocol::kHier || row.node != self_) {
+            return;
+          }
+          if (!metrics->name_filter.empty() &&
+              row.name.find(metrics->name_filter) == std::string_view::npos) {
+            return;
+          }
+          if (response.metrics.size() >= metrics->max_results) return;
+          response.metrics.push_back(
+              MetricValue{std::string(row.name), row.value});
+        });
+    return response;
+  }
+  if (const auto* trace = std::get_if<TraceControl>(&request)) {
+    if (trace->version != kControlApiVersion) {
+      response.status = Status::Error(
+          "TraceControl version " + std::to_string(trace->version) +
+          " not supported (this service speaks v" +
+          std::to_string(kControlApiVersion) + ")");
+      return response;
+    }
+    if (trace->capacity < 1 || trace->capacity > kMaxTraceCapacity) {
+      response.status =
+          Status::Error("trace capacity must be in [1, " +
+                        std::to_string(kMaxTraceCapacity) + "], got " +
+                        std::to_string(trace->capacity));
+      return response;
+    }
+    if ((trace->kinds_mask & ~obs::kAllTraceKinds) != 0) {
+      response.status = Status::Error("kinds_mask names unknown trace kinds");
+      return response;
+    }
+    obs::Tracer& tracer = net_.obs().tracer;
+    tracer.set_capacity(trace->capacity);
+    tracer.set_kinds_mask(trace->kinds_mask);
+    tracer.set_enabled(trace->enable);
+    trace_overridden_ = true;  // run() must not stomp an explicit control
+    return response;
+  }
+
   if (const auto* freq = std::get_if<SetFrequencyRequest>(&request)) {
     MembershipConfig candidate = config_;
     candidate.system.mcast_freq = freq->heartbeats_per_second;
@@ -79,6 +144,16 @@ ControlResponse MService::control(const ControlRequest& request) {
 
 int MService::run() {
   if (daemon_ != nullptr) return -1;
+
+  // Observability first: the daemon resolves its registry handles at
+  // construction, so a disabled registry must be disabled before then. A
+  // TraceControl issued before run() wins over the static configuration.
+  net_.obs().metrics.set_enabled(config_.system.metrics_enabled);
+  if (!trace_overridden_) {
+    net_.obs().tracer.set_capacity(config_.system.trace_capacity);
+    net_.obs().tracer.set_kinds_mask(config_.system.trace_kinds_mask);
+  }
+  membership::install_wire_classifier(net_);
 
   protocols::HierConfig hier;
   hier.base_channel = channel_for_mcast_addr(config_.system.mcast_addr);

@@ -29,15 +29,18 @@
 
 namespace tamp::api {
 
-// --- control surface (v2) --------------------------------------------------
+// --- control surface (v3) --------------------------------------------------
 //
 // The paper's `control(int cmd, void *arg)` became an enum + double in v1;
-// v2 replaces it with typed, versioned request/response structs. Parameter
-// changes are requests validated before run(); observability requests work
-// on the live daemon and expose what v1 could not: per-level leadership
-// epochs and the node's incarnation — the provenance coordinates every
-// relayed record is now fenced by.
-inline constexpr int kControlApiVersion = 2;
+// v2 replaced it with typed, versioned request/response structs. v3 adds
+// the observability requests: MetricsQuery reads this node's registry
+// counters, TraceControl drives the network's structured tracer. The
+// versioned requests carry their wire version explicitly and are rejected
+// on mismatch — a v2 client sending a v3-only request (or a v3 struct
+// stamped with the old version) gets a Status error, never silent
+// misinterpretation. Parameter changes are requests validated before
+// run(); queries work on the live daemon.
+inline constexpr int kControlApiVersion = 3;
 
 struct SetFrequencyRequest {
   double heartbeats_per_second = 1.0;  // MCAST_FREQ
@@ -51,8 +54,29 @@ struct SetMaxTtlRequest {
 // Snapshot the daemon's per-level leadership view (requires run()).
 struct LeadershipQuery {};
 
-using ControlRequest = std::variant<SetFrequencyRequest, SetMaxLossRequest,
-                                    SetMaxTtlRequest, LeadershipQuery>;
+// Read this node's hierarchical-protocol counters from the registry
+// (requires run()). Versioned: a request stamped with an older API version
+// is rejected, because older clients do not know these semantics. Bounded:
+// an oversized filter or result cap is rejected, not truncated silently.
+struct MetricsQuery {
+  int version = kControlApiVersion;
+  std::string name_filter;     // substring match; empty = all (<= 256 chars)
+  size_t max_results = 64;     // in [1, 4096]
+};
+
+// Reconfigure the network's structured tracer. Works before or after
+// run() (the tracer lives on the Network, not the daemon). Versioned and
+// bounds-checked like MetricsQuery.
+struct TraceControl {
+  int version = kControlApiVersion;
+  bool enable = true;
+  size_t capacity = size_t{1} << 16;           // in [1, kMaxTraceCapacity]
+  uint64_t kinds_mask = obs::kAllTraceKinds;   // subset of kAllTraceKinds
+};
+
+using ControlRequest =
+    std::variant<SetFrequencyRequest, SetMaxLossRequest, SetMaxTtlRequest,
+                 LeadershipQuery, MetricsQuery, TraceControl>;
 
 // One level of the hierarchy as the local daemon sees it.
 struct LeadershipInfo {
@@ -66,12 +90,20 @@ struct LeadershipInfo {
   membership::Epoch epoch = 0;
 };
 
+// One named counter value from a MetricsQuery.
+struct MetricValue {
+  std::string name;
+  uint64_t value = 0;
+};
+
 struct ControlResponse {
   int version = kControlApiVersion;
   Status status;
   // Filled for LeadershipQuery (empty otherwise):
   membership::Incarnation incarnation = 0;  // the node's own incarnation
   std::vector<LeadershipInfo> leadership;   // one entry per level
+  // Filled for MetricsQuery (empty otherwise), sorted by name.
+  std::vector<MetricValue> metrics;
 };
 
 class MService {
@@ -123,6 +155,9 @@ class MService {
   net::HostId self_;
   MembershipConfig config_;
   std::string config_error_;
+  // A successful TraceControl outlives run(): the static configuration's
+  // trace settings are only applied when no explicit control preceded them.
+  bool trace_overridden_ = false;
   std::unique_ptr<protocols::HierDaemon> daemon_;
 };
 

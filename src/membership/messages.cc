@@ -1,6 +1,7 @@
 #include "membership/messages.h"
 
 #include "membership/codec.h"
+#include "net/transport.h"
 
 namespace tamp::membership {
 namespace {
@@ -330,6 +331,48 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
     }
   }
   return std::nullopt;
+}
+
+const char* wire_kind_name(uint8_t kind) {
+  switch (static_cast<MessageType>(kind)) {
+    case MessageType::kHeartbeat:
+      return "heartbeat";
+    case MessageType::kUpdate:
+      return "update";
+    case MessageType::kBootstrapRequest:
+      return "bootstrap_request";
+    case MessageType::kBootstrapResponse:
+      return "bootstrap_response";
+    case MessageType::kSyncRequest:
+      return "sync_request";
+    case MessageType::kSyncResponse:
+      return "sync_response";
+    case MessageType::kElection:
+      return "election";
+    case MessageType::kElectionAnswer:
+      return "election_answer";
+    case MessageType::kCoordinator:
+      return "coordinator";
+    case MessageType::kGossip:
+      return "gossip";
+    case MessageType::kProxyHeartbeat:
+      return "proxy_heartbeat";
+    case MessageType::kProxyUpdate:
+      return "proxy_update";
+    case MessageType::kBusy:
+      return "busy";
+  }
+  return "unknown";
+}
+
+void install_wire_classifier(net::Network& net) {
+  net::WireClassifier classifier;
+  classifier.classify = [](const uint8_t* data, size_t size) {
+    return classify_wire_kind(data, size);
+  };
+  classifier.name = [](uint8_t kind) { return std::string(wire_kind_name(kind)); };
+  classifier.kind_count = kWireKindCount;
+  net.set_wire_classifier(std::move(classifier));
 }
 
 }  // namespace tamp::membership

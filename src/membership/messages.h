@@ -16,6 +16,10 @@
 #include "membership/wire.h"
 #include "net/packet.h"
 
+namespace tamp::net {
+class Network;  // forward: the classifier installer takes one
+}
+
 namespace tamp::membership {
 
 enum class MessageType : uint8_t {
@@ -241,5 +245,26 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size);
 inline std::optional<Message> decode_message(const net::Packet& packet) {
   return decode_message(packet.data(), packet.size());
 }
+
+// --- wire-kind classification (per-kind transport accounting) -----------
+//
+// The transport attributes per-kind tx / egress-drop counters through an
+// injected classifier (net/ cannot name these types). Kind ids are the
+// MessageType values; 0 means "not a current-version envelope".
+inline constexpr uint8_t kWireKindCount = 14;  // 0 (unknown) + types 1..13
+
+// Peeks the version and type bytes only — cheap enough for the send path.
+inline uint8_t classify_wire_kind(const uint8_t* data, size_t size) {
+  if (data == nullptr || size < 2 || data[0] != kWireVersionByte) return 0;
+  const uint8_t type = data[1];
+  return type >= 1 && type < kWireKindCount ? type : 0;
+}
+
+// Metric-name suffix for a wire kind ("heartbeat", "update", ...).
+const char* wire_kind_name(uint8_t kind);
+
+// Installs the classifier pair on a Network (idempotent). Called by every
+// component that owns both layers (Cluster, MService).
+void install_wire_classifier(net::Network& net);
 
 }  // namespace tamp::membership

@@ -11,6 +11,67 @@ Network::Network(sim::Simulation& sim, Topology& topology,
                  NetworkConfig config)
     : sim_(sim), topology_(topology), config_(config) {
   hosts_.resize(topology_.device_count());
+  total_ = resolve_counters(obs::kNoNode);
+  for (HostId host = 0; host < hosts_.size(); ++host) {
+    if (topology_.is_host(host)) {
+      hosts_[host].counters = resolve_counters(host);
+    }
+  }
+  // Kind 0 ("unknown") exists even before a classifier is installed, so the
+  // per-kind sums are total from the first packet.
+  set_wire_classifier(WireClassifier{});
+}
+
+Network::TrafficCounters Network::resolve_counters(obs::NodeId node) {
+  obs::MetricsRegistry& m = obs_.metrics;
+  TrafficCounters c;
+  c.tx_messages = m.counter(obs::Protocol::kNet, "tx_messages", node);
+  c.tx_wire_bytes = m.counter(obs::Protocol::kNet, "tx_wire_bytes", node);
+  c.rx_messages = m.counter(obs::Protocol::kNet, "rx_messages", node);
+  c.rx_wire_bytes = m.counter(obs::Protocol::kNet, "rx_wire_bytes", node);
+  c.rx_multicast_messages =
+      m.counter(obs::Protocol::kNet, "rx_multicast_messages", node);
+  c.dropped_messages =
+      m.counter(obs::Protocol::kNet, "dropped_messages", node);
+  c.tx_dropped_egress =
+      m.counter(obs::Protocol::kNet, "tx_dropped_egress", node);
+  return c;
+}
+
+TrafficStats Network::counters_view(const TrafficCounters& counters) {
+  TrafficStats stats;
+  stats.tx_messages = counters.tx_messages->value;
+  stats.tx_wire_bytes = counters.tx_wire_bytes->value;
+  stats.rx_messages = counters.rx_messages->value;
+  stats.rx_wire_bytes = counters.rx_wire_bytes->value;
+  stats.rx_multicast_messages = counters.rx_multicast_messages->value;
+  stats.dropped_messages = counters.dropped_messages->value;
+  stats.tx_dropped_egress = counters.tx_dropped_egress->value;
+  return stats;
+}
+
+void Network::set_wire_classifier(WireClassifier classifier) {
+  classifier_ = std::move(classifier);
+  if (classifier_.kind_count == 0) classifier_.kind_count = 1;
+  obs::MetricsRegistry& m = obs_.metrics;
+  tx_kind_.clear();
+  egress_drop_kind_.clear();
+  tx_down_kind_.clear();
+  for (uint8_t kind = 0; kind < classifier_.kind_count; ++kind) {
+    const std::string suffix =
+        classifier_.name ? classifier_.name(kind) : "unknown";
+    tx_kind_.push_back(m.counter(obs::Protocol::kNet, "tx_kind_" + suffix));
+    egress_drop_kind_.push_back(
+        m.counter(obs::Protocol::kNet, "tx_egress_drop_kind_" + suffix));
+    tx_down_kind_.push_back(
+        m.counter(obs::Protocol::kNet, "tx_down_kind_" + suffix));
+  }
+}
+
+uint8_t Network::classify(const Payload& payload) const {
+  if (!classifier_.classify || !payload) return 0;
+  uint8_t kind = classifier_.classify(payload->data(), payload->size());
+  return kind < classifier_.kind_count ? kind : 0;
 }
 
 void Network::bind(HostId host, Port port, RecvCallback callback) {
@@ -98,8 +159,8 @@ void Network::dispatch(Packet packet, const PathInfo& path, size_t fragments,
     verdict = injector_->verdict(packet);
   }
   if (verdict.cut || !survives(path, fragments, verdict.extra_loss)) {
-    hosts_[packet.to.host].stats.dropped_messages += 1;
-    total_.dropped_messages += 1;
+    hosts_[packet.to.host].counters.dropped_messages->add();
+    total_.dropped_messages->add();
     return;
   }
 
@@ -125,19 +186,27 @@ void Network::dispatch(Packet packet, const PathInfo& path, size_t fragments,
 
 bool Network::send_unicast(HostId from, Address to, Payload payload) {
   TAMP_CHECK(from < hosts_.size() && to.host < hosts_.size());
-  if (!hosts_[from].up) return false;
+  const uint8_t kind = classify(payload);
+  if (!hosts_[from].up) {
+    tx_down_kind_[kind]->add();
+    return false;
+  }
 
   const size_t wire = wire_bytes_for(payload ? payload->size() : 0);
   sim::Duration egress_delay = 0;
   if (!egress_admit(from, wire, egress_delay)) {
-    hosts_[from].stats.tx_dropped_egress += 1;
-    total_.tx_dropped_egress += 1;
+    hosts_[from].counters.tx_dropped_egress->add();
+    total_.tx_dropped_egress->add();
+    egress_drop_kind_[kind]->add();
+    obs_.tracer.record(obs::TraceKind::kEgressDrop, from, sim_.now(), -1,
+                       kind, wire);
     return true;  // accepted by the socket, dropped at the full NIC queue
   }
-  hosts_[from].stats.tx_messages += 1;
-  hosts_[from].stats.tx_wire_bytes += wire;
-  total_.tx_messages += 1;
-  total_.tx_wire_bytes += wire;
+  hosts_[from].counters.tx_messages->add();
+  hosts_[from].counters.tx_wire_bytes->add(wire);
+  total_.tx_messages->add();
+  total_.tx_wire_bytes->add(wire);
+  tx_kind_[kind]->add();
 
   PathInfo path = topology_.path(from, to.host);
   if (!path.reachable) return true;  // sent into the void, UDP-style
@@ -159,19 +228,27 @@ bool Network::send_multicast(HostId from, ChannelId channel, uint8_t ttl,
                              Port port, Payload payload) {
   TAMP_CHECK(from < hosts_.size());
   TAMP_CHECK_MSG(ttl > 0, "multicast needs ttl >= 1");
-  if (!hosts_[from].up) return false;
+  const uint8_t kind = classify(payload);
+  if (!hosts_[from].up) {
+    tx_down_kind_[kind]->add();
+    return false;
+  }
 
   const size_t wire = wire_bytes_for(payload ? payload->size() : 0);
   sim::Duration egress_delay = 0;
   if (!egress_admit(from, wire, egress_delay)) {
-    hosts_[from].stats.tx_dropped_egress += 1;
-    total_.tx_dropped_egress += 1;
+    hosts_[from].counters.tx_dropped_egress->add();
+    total_.tx_dropped_egress->add();
+    egress_drop_kind_[kind]->add();
+    obs_.tracer.record(obs::TraceKind::kEgressDrop, from, sim_.now(), -1,
+                       kind, wire);
     return true;  // one NIC send: the whole fan-out is dropped together
   }
-  hosts_[from].stats.tx_messages += 1;
-  hosts_[from].stats.tx_wire_bytes += wire;
-  total_.tx_messages += 1;
-  total_.tx_wire_bytes += wire;
+  hosts_[from].counters.tx_messages->add();
+  hosts_[from].counters.tx_wire_bytes->add(wire);
+  total_.tx_messages->add();
+  total_.tx_wire_bytes->add(wire);
+  tx_kind_[kind]->add();
 
   const size_t fragments = fragments_for(payload ? payload->size() : 0);
   auto members = channel_members_.find(channel);
@@ -229,15 +306,18 @@ bool Network::host_up(HostId host) const {
   return hosts_[host].up;
 }
 
-TrafficStats& Network::stats(HostId host) {
+TrafficStats Network::stats(HostId host) const {
   TAMP_CHECK(host < hosts_.size());
-  return hosts_[host].stats;
+  if (!obs_.metrics.enabled()) return TrafficStats{};
+  return counters_view(hosts_[host].counters);
 }
 
-void Network::reset_stats() {
-  total_.reset();
-  for (auto& h : hosts_) h.stats.reset();
+TrafficStats Network::total_stats() const {
+  if (!obs_.metrics.enabled()) return TrafficStats{};
+  return counters_view(total_);
 }
+
+void Network::reset_stats() { obs_.metrics.reset(obs::Protocol::kNet); }
 
 void Network::deliver(Packet packet) {
   HostState& receiver = hosts_[packet.to.host];
@@ -247,13 +327,13 @@ void Network::deliver(Packet packet) {
     return;  // left the group while the packet was in flight
   }
 
-  receiver.stats.rx_messages += 1;
-  receiver.stats.rx_wire_bytes += packet.wire_bytes;
-  total_.rx_messages += 1;
-  total_.rx_wire_bytes += packet.wire_bytes;
+  receiver.counters.rx_messages->add();
+  receiver.counters.rx_wire_bytes->add(packet.wire_bytes);
+  total_.rx_messages->add();
+  total_.rx_wire_bytes->add(packet.wire_bytes);
   if (packet.kind == DeliveryKind::kMulticast) {
-    receiver.stats.rx_multicast_messages += 1;
-    total_.rx_multicast_messages += 1;
+    receiver.counters.rx_multicast_messages->add();
+    total_.rx_multicast_messages->add();
   }
 
   auto socket = receiver.sockets.find(packet.to.port);

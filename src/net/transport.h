@@ -21,6 +21,7 @@
 #include "net/ids.h"
 #include "net/packet.h"
 #include "net/topology.h"
+#include "obs/obs.h"
 #include "sim/simulation.h"
 
 namespace tamp::net {
@@ -66,6 +67,11 @@ class FaultInjector {
 // bound socket; `rx_wire_*` count traffic arriving at the NIC (including
 // packets for channels the host joined but with no socket bound — these
 // still consume link bandwidth, as in Figure 2's measurement).
+//
+// DEPRECATED view: the counters now live in the MetricsRegistry under
+// {obs::Protocol::kNet, <field name>, host}; Network::stats()/total_stats()
+// assemble this struct on demand for legacy callers. New code should query
+// net.obs().metrics directly.
 struct TrafficStats {
   uint64_t tx_messages = 0;
   uint64_t tx_wire_bytes = 0;
@@ -76,6 +82,16 @@ struct TrafficStats {
   uint64_t tx_dropped_egress = 0;  // dropped at the sender's full NIC queue
 
   void reset() { *this = TrafficStats(); }
+};
+
+// Attribution hook for per-wire-kind accounting: net/ cannot name the
+// membership layer's message types, so whoever owns both layers (Cluster,
+// MService) injects a payload classifier. Kind 0 is "unknown"; kinds must
+// be dense in [0, kind_count).
+struct WireClassifier {
+  std::function<uint8_t(const uint8_t* data, size_t size)> classify;
+  std::function<std::string(uint8_t kind)> name;  // metric-name suffix
+  uint8_t kind_count = 1;
 };
 
 class Network {
@@ -124,17 +140,42 @@ class Network {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
-  // --- accounting -------------------------------------------------------
-  TrafficStats& stats(HostId host);
-  const TrafficStats& total_stats() const { return total_; }
+  // --- observability ----------------------------------------------------
+  // The network owns the process-wide observability pair: every daemon,
+  // bench, and test already holds a Network&, so this is the one place the
+  // registry and tracer can live without threading them through every
+  // constructor in the tree.
+  obs::Observability& obs() { return obs_; }
+  const obs::Observability& obs() const { return obs_; }
+
+  // Install the payload classifier used for per-kind tx / egress-drop
+  // attribution. Idempotent; replacing an installed classifier with one
+  // that produces the same kinds is a no-op in effect.
+  void set_wire_classifier(WireClassifier classifier);
+
+  // --- accounting (deprecated views over the MetricsRegistry) ------------
+  TrafficStats stats(HostId host) const;
+  TrafficStats total_stats() const;
   void reset_stats();
 
  private:
+  // Cached registry handles for one accounting scope (a host, or the
+  // network-wide totals under obs::kNoNode).
+  struct TrafficCounters {
+    obs::Counter* tx_messages = nullptr;
+    obs::Counter* tx_wire_bytes = nullptr;
+    obs::Counter* rx_messages = nullptr;
+    obs::Counter* rx_wire_bytes = nullptr;
+    obs::Counter* rx_multicast_messages = nullptr;
+    obs::Counter* dropped_messages = nullptr;
+    obs::Counter* tx_dropped_egress = nullptr;
+  };
+
   struct HostState {
     bool up = true;
     std::unordered_map<Port, RecvCallback> sockets;
     std::unordered_set<ChannelId> groups;
-    TrafficStats stats;
+    TrafficCounters counters;
     // Virtual time at which this host's NIC finishes serializing everything
     // already accepted for egress; the queue backlog is (free_at - now) in
     // bytes at the configured rate.
@@ -148,6 +189,9 @@ class Network {
 
   size_t wire_bytes_for(size_t payload_size) const;
   size_t fragments_for(size_t payload_size) const;
+  TrafficCounters resolve_counters(obs::NodeId node);
+  static TrafficStats counters_view(const TrafficCounters& counters);
+  uint8_t classify(const Payload& payload) const;
   // Applies path loss (per fragment) + configured extra loss + any
   // injector-imposed loss; true if delivered.
   bool survives(const PathInfo& path, size_t fragments, double injected_loss);
@@ -166,10 +210,17 @@ class Network {
   sim::Simulation& sim_;
   Topology& topology_;
   NetworkConfig config_;
+  obs::Observability obs_;
   std::vector<HostState> hosts_;
   std::vector<HostId> virtual_ips_;
   FaultInjector* injector_ = nullptr;
-  TrafficStats total_;
+  TrafficCounters total_;
+  WireClassifier classifier_;
+  // Per-kind totals, indexed by classifier kind (satellite attribution for
+  // the egress capacity model: *what* was shed, not just how much).
+  std::vector<obs::Counter*> tx_kind_;
+  std::vector<obs::Counter*> egress_drop_kind_;
+  std::vector<obs::Counter*> tx_down_kind_;
 };
 
 }  // namespace tamp::net

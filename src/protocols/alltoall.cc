@@ -17,7 +17,9 @@ AllToAllDaemon::AllToAllDaemon(sim::Simulation& sim, net::Network& net,
     : MembershipDaemon(sim, net, self, std::move(own)),
       config_(config),
       announce_timer_(sim, config.period, [this] { announce(); }),
-      scan_timer_(sim, config.scan_interval, [this] { scan(); }) {}
+      scan_timer_(sim, config.scan_interval, [this] { scan(); }),
+      heartbeats_sent_(net.obs().metrics.counter(obs::Protocol::kAllToAll,
+                                                 "heartbeats_sent", self)) {}
 
 AllToAllDaemon::~AllToAllDaemon() { stop(); }
 
@@ -47,7 +49,7 @@ void AllToAllDaemon::announce() {
   heartbeat.seq = ++seq_;
   net_.send_multicast(self_, config_.channel, config_.ttl, config_.port,
                       encode_message(heartbeat, config_.heartbeat_pad));
-  ++heartbeats_sent_;
+  heartbeats_sent_->add();
 }
 
 void AllToAllDaemon::scan() {
@@ -58,6 +60,8 @@ void AllToAllDaemon::scan() {
   });
   for (auto node : expired) {
     TAMP_LOG(Info) << "a2a node " << self_ << " declares " << node << " dead";
+    net_.obs().tracer.record(obs::TraceKind::kTimeoutExpiry, self_, sim_.now(),
+                             -1, node);
     notify(node, false);
   }
 }

@@ -9,6 +9,7 @@
 
 #include <memory>
 
+#include "obs/obs.h"
 #include "protocols/daemon.h"
 #include "protocols/ports.h"
 #include "sim/timer.h"
@@ -36,7 +37,7 @@ class AllToAllDaemon : public MembershipDaemon {
   void stop() override;
 
   const AllToAllConfig& config() const { return config_; }
-  uint64_t heartbeats_sent() const { return heartbeats_sent_; }
+  uint64_t heartbeats_sent() const { return heartbeats_sent_->value; }
 
  private:
   void announce();
@@ -47,7 +48,8 @@ class AllToAllDaemon : public MembershipDaemon {
   sim::PeriodicTimer announce_timer_;
   sim::PeriodicTimer scan_timer_;
   uint64_t seq_ = 0;
-  uint64_t heartbeats_sent_ = 0;
+  // Registry-backed (obs::Protocol::kAllToAll, "heartbeats_sent", self).
+  obs::Counter* heartbeats_sent_ = nullptr;
 };
 
 }  // namespace tamp::protocols

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "membership/messages.h"
 #include "util/check.h"
 
 namespace tamp::protocols {
@@ -22,6 +23,8 @@ Cluster::Cluster(sim::Simulation& sim, net::Network& net,
                  const std::vector<net::HostId>& hosts, Options options)
     : sim_(sim), net_(net), hosts_(hosts), options_(options) {
   TAMP_CHECK(!hosts_.empty());
+  // Per-wire-kind transport attribution (idempotent across clusters).
+  membership::install_wire_classifier(net_);
   if (options_.heartbeat_pad > 0) {
     options_.alltoall.heartbeat_pad = options_.heartbeat_pad;
     options_.hier.heartbeat_pad = options_.heartbeat_pad;

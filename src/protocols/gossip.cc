@@ -20,7 +20,10 @@ GossipDaemon::GossipDaemon(sim::Simulation& sim, net::Network& net,
     : MembershipDaemon(sim, net, self, std::move(own)),
       config_(config),
       round_timer_(sim, config.period, [this] { round(); }),
-      scan_timer_(sim, config.scan_interval, [this] { scan(); }) {}
+      scan_timer_(sim, config.scan_interval, [this] { scan(); }),
+      gossips_sent_(
+          net.obs().metrics.counter(obs::Protocol::kGossip, "gossips_sent",
+                                    self)) {}
 
 GossipDaemon::~GossipDaemon() { stop(); }
 
@@ -96,7 +99,7 @@ void GossipDaemon::round() {
     if (target == membership::kInvalidNode) return;
     if (!payload) payload = encode_message(build_view());
     net_.send_unicast(self_, net::Address{target, config_.port}, payload);
-    ++gossips_sent_;
+    gossips_sent_->add();
   }
 }
 
@@ -119,6 +122,8 @@ void GossipDaemon::scan() {
     peers_.erase(node);
     TAMP_LOG(Info) << "gossip node " << self_ << " declares " << node
                    << " failed";
+    net_.obs().tracer.record(obs::TraceKind::kTimeoutExpiry, self_, now, -1,
+                             node);
     notify(node, false);
   }
 

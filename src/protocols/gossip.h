@@ -24,6 +24,7 @@
 
 #include <unordered_map>
 
+#include "obs/obs.h"
 #include "protocols/daemon.h"
 #include "protocols/ports.h"
 #include "sim/timer.h"
@@ -57,7 +58,7 @@ class GossipDaemon : public MembershipDaemon {
   // Effective failure timeout at the current view size.
   sim::Duration effective_tfail() const;
 
-  uint64_t gossips_sent() const { return gossips_sent_; }
+  uint64_t gossips_sent() const { return gossips_sent_->value; }
   const GossipConfig& config() const { return config_; }
 
  private:
@@ -96,7 +97,8 @@ class GossipDaemon : public MembershipDaemon {
   std::unordered_map<membership::NodeId, DeadState> dead_;
   std::vector<membership::NodeId> target_cycle_;
   size_t target_cursor_ = 0;
-  uint64_t gossips_sent_ = 0;
+  // Registry-backed (obs::Protocol::kGossip, "gossips_sent", self).
+  obs::Counter* gossips_sent_ = nullptr;
 };
 
 }  // namespace tamp::protocols

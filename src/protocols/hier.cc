@@ -67,9 +67,69 @@ HierDaemon::HierDaemon(sim::Simulation& sim, net::Network& net, NodeId self,
         });
     levels_.push_back(std::move(state));
   }
+  resolve_metrics();
 }
 
 HierDaemon::~HierDaemon() { stop(); }
+
+void HierDaemon::resolve_metrics() {
+  obs::MetricsRegistry& m = net_.obs().metrics;
+  auto c = [&](std::string_view name) {
+    return m.counter(obs::Protocol::kHier, name, self_);
+  };
+  metrics_.heartbeats_sent = c("heartbeats_sent");
+  metrics_.updates_sent = c("updates_sent");
+  metrics_.update_records_applied = c("update_records_applied");
+  metrics_.elections_started = c("elections_started");
+  metrics_.coordinators_sent = c("coordinators_sent");
+  metrics_.bootstraps_requested = c("bootstraps_requested");
+  metrics_.bootstraps_served = c("bootstraps_served");
+  metrics_.syncs_requested = c("syncs_requested");
+  metrics_.syncs_served = c("syncs_served");
+  metrics_.gaps_recovered_by_piggyback = c("gaps_recovered_by_piggyback");
+  metrics_.relayed_purges = c("relayed_purges");
+  metrics_.epochs_minted = c("epochs_minted");
+  metrics_.stale_epoch_rejects = c("stale_epoch_rejects");
+  metrics_.epochs_superseded = c("epochs_superseded");
+  metrics_.deaf_backlogs_dropped = c("deaf_backlogs_dropped");
+  metrics_.exchange_retries = c("exchange_retries");
+  metrics_.exchange_budget_exhausted = c("exchange_budget_exhausted");
+  metrics_.busy_sent = c("busy_sent");
+  metrics_.busy_deferrals = c("busy_deferrals");
+  metrics_.out_log_compacted = c("out_log_compacted");
+  metrics_.image_serve_entries =
+      m.histogram(obs::Protocol::kHier, "image_serve_entries", self_);
+}
+
+HierStats HierDaemon::stats() const {
+  HierStats s;
+  s.heartbeats_sent = metrics_.heartbeats_sent->value;
+  s.updates_sent = metrics_.updates_sent->value;
+  s.update_records_applied = metrics_.update_records_applied->value;
+  s.elections_started = metrics_.elections_started->value;
+  s.coordinators_sent = metrics_.coordinators_sent->value;
+  s.bootstraps_requested = metrics_.bootstraps_requested->value;
+  s.bootstraps_served = metrics_.bootstraps_served->value;
+  s.syncs_requested = metrics_.syncs_requested->value;
+  s.syncs_served = metrics_.syncs_served->value;
+  s.gaps_recovered_by_piggyback = metrics_.gaps_recovered_by_piggyback->value;
+  s.relayed_purges = metrics_.relayed_purges->value;
+  s.epochs_minted = metrics_.epochs_minted->value;
+  s.stale_epoch_rejects = metrics_.stale_epoch_rejects->value;
+  s.epochs_superseded = metrics_.epochs_superseded->value;
+  s.deaf_backlogs_dropped = metrics_.deaf_backlogs_dropped->value;
+  s.exchange_retries = metrics_.exchange_retries->value;
+  s.exchange_budget_exhausted = metrics_.exchange_budget_exhausted->value;
+  s.busy_sent = metrics_.busy_sent->value;
+  s.busy_deferrals = metrics_.busy_deferrals->value;
+  s.out_log_compacted = metrics_.out_log_compacted->value;
+  return s;
+}
+
+void HierDaemon::trace(obs::TraceKind kind, int level, uint64_t a,
+                       uint64_t b) {
+  net_.obs().tracer.record(kind, self_, sim_.now(), level, a, b);
+}
 
 sim::Duration HierDaemon::level_timeout(int level) const {
   double factor = std::pow(config_.level_timeout_factor, level);
@@ -129,6 +189,7 @@ void HierDaemon::join_level(int level) {
   LevelState& ls = level_state(level);
   if (ls.joined) return;
   ls.joined = true;
+  trace(obs::TraceKind::kGroupJoin, level);
   ls.last_received = sim_.now();  // deafness clock starts at (re)join
   net_.join_group(self_, channel_of(level));
   send_heartbeat(level);
@@ -141,6 +202,7 @@ void HierDaemon::leave_levels_from(int level, bool announce) {
   for (int l = config_.max_ttl - 1; l >= level; --l) {
     LevelState& ls = level_state(l);
     if (!ls.joined) continue;
+    trace(obs::TraceKind::kGroupLeave, l, announce ? 1 : 0);
     if (announce) {
       // Graceful goodbye: we are alive, just leaving this channel — peers
       // must not mistake our silence here for a node failure.
@@ -283,7 +345,7 @@ void HierDaemon::send_heartbeat(int level) {
   net_.send_multicast(self_, channel_of(level), ttl_of(level),
                       config_.data_port,
                       encode_message(heartbeat, config_.heartbeat_pad));
-  ++stats_.heartbeats_sent;
+  metrics_.heartbeats_sent->add();
 }
 
 void HierDaemon::scan_tick() {
@@ -325,6 +387,7 @@ void HierDaemon::on_member_dead(int level, NodeId member) {
 
   TAMP_LOG(Info) << "hier node " << self_ << " detects member " << member
                  << " dead at level " << level;
+  trace(obs::TraceKind::kTimeoutExpiry, level, member);
 
   if (ls.i_am_leader && ls.my_backup == member) {
     ls.my_backup = pick_backup(level);
@@ -352,7 +415,7 @@ void HierDaemon::purge_dependents(NodeId dead, int arrival_level,
   // superseded is acting on stale knowledge: the new leadership's refresh
   // is re-seeding exactly the entries this purge would remove.
   if (trigger_epoch < level_state(arrival_level).epoch) {
-    ++stats_.stale_epoch_rejects;
+    metrics_.stale_epoch_rejects->add();
     return;
   }
   // Worklist: purging one relay may orphan entries relayed by the purged
@@ -380,7 +443,7 @@ void HierDaemon::purge_dependents(NodeId dead, int arrival_level,
     }
     for (const auto& [id, incarnation] : victims) {
       if (table_.remove(id, incarnation, sim_.now())) {
-        ++stats_.relayed_purges;
+        metrics_.relayed_purges->add();
         notify(id, false);
         relay_record(make_leave_record(id, incarnation), arrival_level);
         worklist.push_back(id);
@@ -406,7 +469,7 @@ void HierDaemon::on_data_packet(const net::Packet& packet) {
   if (arrival.last_received > 0 && !arrival.out_log.empty() &&
       arrived - arrival.last_received > level_timeout(level)) {
     clear_out_log(arrival);
-    ++stats_.deaf_backlogs_dropped;
+    metrics_.deaf_backlogs_dropped->add();
   }
   arrival.last_received = arrived;
   std::visit(
@@ -443,13 +506,15 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
                       BusyKind::kBootstrap);
             return;
           }
-          ++stats_.bootstraps_served;
+          metrics_.bootstraps_served->add();
           BootstrapResponseMsg response;
           response.responder = self_;
           response.responder_incarnation = own_.incarnation;
           response.level = static_cast<uint8_t>(req_level);
           response.epoch = levels_[req_level]->epoch;
           response.entries = full_view();
+          metrics_.image_serve_entries->observe(
+              static_cast<double>(response.entries.size()));
           net_.send_unicast(self_,
                             net::Address{msg.requester, config_.control_port},
                             encode_message(response));
@@ -462,7 +527,7 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
           // leader's traffic is already re-seeding us.
           if (fenced_stale(ls, msg.responder, msg.epoch,
                            msg.responder_incarnation)) {
-            ++stats_.stale_epoch_rejects;
+            metrics_.stale_epoch_rejects->add();
             return;
           }
           // The exchange completed: only now is the level bootstrapped. A
@@ -475,7 +540,7 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
             send_busy(msg.requester, msg.level, BusyKind::kSync);
             return;
           }
-          ++stats_.syncs_served;
+          metrics_.syncs_served->add();
           SyncResponseMsg response;
           response.responder = self_;
           response.responder_incarnation = own_.incarnation;
@@ -488,6 +553,8 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
             response.epoch = levels_[req_level]->epoch;
           }
           response.entries = full_view();
+          metrics_.image_serve_entries->observe(
+              static_cast<double>(response.entries.size()));
           net_.send_unicast(self_,
                             net::Address{msg.requester, config_.control_port},
                             encode_message(response));
@@ -500,7 +567,7 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
             // of the cluster).
             if (fenced_stale(*levels_[level], msg.responder, msg.epoch,
                              msg.responder_incarnation)) {
-              ++stats_.stale_epoch_rejects;
+              metrics_.stale_epoch_rejects->add();
               return;
             }
             // The poll was answered; stop the retry timer for it.
@@ -609,7 +676,7 @@ void HierDaemon::on_heartbeat(int level, const HeartbeatMsg& msg) {
     // it, don't pull its (stale) image. If we hold the live leadership,
     // repel it — assert the current epoch and re-seed the claimant's view
     // so it abdicates and recovers without operator action.
-    ++stats_.stale_epoch_rejects;
+    metrics_.stale_epoch_rejects->add();
     if (ls.i_am_leader) {
       repel_stale_claim(level, sender, msg.epoch, msg.entry.incarnation);
     }
@@ -675,7 +742,7 @@ void HierDaemon::on_update(int level, const UpdateMsg& msg) {
   // from other, overlapping lineages pass (not comparable numbers), and so
   // does a restarted origin's fresh stream (new life, new lineage).
   if (fenced_stale(ls, msg.origin, msg.epoch, msg.origin_incarnation)) {
-    ++stats_.stale_epoch_rejects;
+    metrics_.stale_epoch_rejects->add();
     return;
   }
   if (msg.records.empty()) return;
@@ -722,7 +789,7 @@ void HierDaemon::on_update(int level, const UpdateMsg& msg) {
     return;
   }
   if (known + 1 < newest) {
-    ++stats_.gaps_recovered_by_piggyback;
+    metrics_.gaps_recovered_by_piggyback->add();
   }
   for (const auto* record : ordered) {
     if (record->seq > known) process_record(*record, msg.origin, level);
@@ -753,7 +820,7 @@ void HierDaemon::on_coordinator(int level, const CoordinatorMsg& msg) {
   if (fenced_stale(ls, msg.leader, msg.epoch, msg.leader_incarnation)) {
     // Stale replay: an announcement of leadership the group has since
     // re-elected away (e.g. a resumed leader's deferred COORDINATOR).
-    ++stats_.stale_epoch_rejects;
+    metrics_.stale_epoch_rejects->add();
     if (ls.i_am_leader) {
       repel_stale_claim(level, msg.leader, msg.epoch, msg.leader_incarnation);
     }
@@ -813,7 +880,8 @@ void HierDaemon::maybe_start_election(int level) {
   if (!ls.joined || ls.electing || ls.i_am_leader || !can_participate(level)) {
     return;
   }
-  ++stats_.elections_started;
+  metrics_.elections_started->add();
+  trace(obs::TraceKind::kElectionStart, level, ls.epoch);
   ls.electing = true;
   ls.answered = false;
   ElectionMsg msg;
@@ -861,7 +929,8 @@ void HierDaemon::become_leader(int level) {
   // fence the predecessor we are succeeding: its claims (and replayed
   // updates) below the new epoch are stale from this moment on.
   ls.epoch += 1;
-  ++stats_.epochs_minted;
+  metrics_.epochs_minted->add();
+  trace(obs::TraceKind::kEpochMint, level, ls.epoch);
   if (ls.prev_leader != membership::kInvalidNode && ls.prev_leader != self_) {
     raise_fence(ls, ls.prev_leader, ls.epoch - 1, ls.prev_leader_incarnation);
   }
@@ -907,7 +976,8 @@ void HierDaemon::send_coordinator(int level) {
   msg.prev_incarnation = ls.i_am_leader ? ls.prev_leader_incarnation : 0;
   net_.send_multicast(self_, channel_of(level), ttl_of(level),
                       config_.data_port, encode_message(msg));
-  ++stats_.coordinators_sent;
+  metrics_.coordinators_sent->add();
+  trace(obs::TraceKind::kCoordinator, level, ls.epoch);
 }
 
 void HierDaemon::adopt_epoch(int level, membership::Epoch epoch,
@@ -925,7 +995,8 @@ void HierDaemon::adopt_epoch(int level, membership::Epoch epoch,
   // stamped while detached, which would purge live nodes — and the old
   // subtree's entries are the new leadership's to curate, so no purge
   // either. Then re-enter as a plain member and pull a fresh image.
-  ++stats_.epochs_superseded;
+  metrics_.epochs_superseded->add();
+  trace(obs::TraceKind::kEpochSupersede, level, epoch, new_leader);
   TAMP_LOG(Info) << "hier node " << self_ << " superseded at level " << level
                  << " (epoch " << epoch << "), abdicating";
   clear_out_log(ls);
@@ -975,6 +1046,7 @@ void HierDaemon::repel_stale_claim(int level, NodeId claimant,
   // name it in the re-assertion so followers that missed the original
   // announcement learn the succession too.
   raise_fence(ls, claimant, claim_epoch, claim_incarnation);
+  trace(obs::TraceKind::kStaleReject, level, claimant, claim_epoch);
   ls.prev_leader = claimant;
   ls.prev_leader_incarnation = claim_incarnation;
   send_coordinator(level);
@@ -1039,7 +1111,8 @@ UpdateRecord HierDaemon::make_leave_record(NodeId subject, Incarnation inc) {
 
 bool HierDaemon::process_record(const UpdateRecord& record, NodeId relayed_by,
                                 int arrival_level) {
-  ++stats_.update_records_applied;
+  metrics_.update_records_applied->add();
+  trace(obs::TraceKind::kDeltaApply, arrival_level, record.subject, record.seq);
   if (record.subject == self_) return false;
   const sim::Time now = sim_.now();
 
@@ -1111,7 +1184,7 @@ void HierDaemon::emit_batch(int level,
   if (ls.last_received > 0 && !ls.out_log.empty() &&
       sim_.now() - ls.last_received > level_timeout(level)) {
     clear_out_log(ls);
-    ++stats_.deaf_backlogs_dropped;
+    metrics_.deaf_backlogs_dropped->add();
   }
 
   UpdateMsg msg;
@@ -1140,7 +1213,7 @@ void HierDaemon::emit_batch(int level,
       auto seen = newest.find(it->subject);
       if (seen != newest.end() && it->incarnation <= seen->second) {
         it = ls.out_log.erase(it);
-        ++stats_.out_log_compacted;
+        metrics_.out_log_compacted->add();
       } else {
         auto& inc = newest[it->subject];
         inc = std::max(inc, it->incarnation);
@@ -1162,7 +1235,8 @@ void HierDaemon::emit_batch(int level,
   }
   net_.send_multicast(self_, channel_of(level), ttl_of(level),
                       config_.data_port, encode_message(msg));
-  ++stats_.updates_sent;
+  metrics_.updates_sent->add();
+  trace(obs::TraceKind::kDeltaEmit, level, msg.records.size(), ls.epoch);
 }
 
 void HierDaemon::clear_out_log(LevelState& ls) {
@@ -1220,7 +1294,8 @@ void HierDaemon::send_sync_request(int level, NodeId origin) {
   LevelState& ls = level_state(level);
   auto it = ls.pending_syncs.find(origin);
   if (it == ls.pending_syncs.end()) return;
-  ++stats_.syncs_requested;
+  metrics_.syncs_requested->add();
+  trace(obs::TraceKind::kSyncRequest, level, origin);
   SyncRequestMsg request;
   request.requester = self_;
   request.level = static_cast<uint8_t>(level);
@@ -1245,10 +1320,12 @@ void HierDaemon::sync_retry(int level, NodeId origin) {
     // next gap sighting anchors past it; it must not be destroyed here,
     // inside its own timer's callback.
     it->second->exhausted = true;
-    ++stats_.exchange_budget_exhausted;
+    metrics_.exchange_budget_exhausted->add();
+    trace(obs::TraceKind::kBudgetExhausted, level, origin);
     return;
   }
-  ++stats_.exchange_retries;
+  metrics_.exchange_retries->add();
+  trace(obs::TraceKind::kRetry, level, origin, it->second->attempts);
   send_sync_request(level, origin);
 }
 
@@ -1274,7 +1351,8 @@ void HierDaemon::request_bootstrap(int level, NodeId leader) {
 void HierDaemon::send_bootstrap_request(int level) {
   LevelState& ls = level_state(level);
   LevelState::PendingExchange& pending = *ls.pending_bootstrap;
-  ++stats_.bootstraps_requested;
+  metrics_.bootstraps_requested->add();
+  trace(obs::TraceKind::kBootstrapRequest, level, pending.target);
   BootstrapRequestMsg request;
   request.requester = self_;
   request.level = static_cast<uint8_t>(level);
@@ -1297,10 +1375,13 @@ void HierDaemon::bootstrap_retry(int level) {
     // slot survives until then: destroying it here would free the timer
     // whose callback this is.
     ls.pending_bootstrap->exhausted = true;
-    ++stats_.exchange_budget_exhausted;
+    metrics_.exchange_budget_exhausted->add();
+    trace(obs::TraceKind::kBudgetExhausted, level, ls.pending_bootstrap->target);
     return;
   }
-  ++stats_.exchange_retries;
+  metrics_.exchange_retries->add();
+  trace(obs::TraceKind::kRetry, level, ls.pending_bootstrap->target,
+        ls.pending_bootstrap->attempts);
   send_bootstrap_request(level);
 }
 
@@ -1339,12 +1420,14 @@ sim::Duration HierDaemon::busy_retry_after() {
 }
 
 void HierDaemon::send_busy(NodeId requester, uint8_t level, BusyKind kind) {
-  ++stats_.busy_sent;
+  metrics_.busy_sent->add();
   BusyMsg busy;
   busy.responder = self_;
   busy.level = level;
   busy.kind = kind;
   busy.retry_after = busy_retry_after();
+  trace(obs::TraceKind::kBusyPushback, level, requester,
+        static_cast<uint64_t>(busy.retry_after));
   net_.send_unicast(self_, net::Address{requester, config_.control_port},
                     encode_message(busy));
 }
@@ -1363,7 +1446,9 @@ void HierDaemon::on_busy(const BusyMsg& msg) {
     if (it != ls.pending_syncs.end()) pending = it->second.get();
   }
   if (pending == nullptr || pending->exhausted) return;
-  ++stats_.busy_deferrals;
+  metrics_.busy_deferrals->add();
+  trace(obs::TraceKind::kBusyDeferral, level, msg.responder,
+        static_cast<uint64_t>(msg.retry_after));
   // Honor the deferral without consuming a retry attempt; the jitter
   // spreads requesters that were handed the same retry_after.
   const auto jitter = static_cast<sim::Duration>(sim_.rng().uniform_u64(

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/obs.h"
 #include "protocols/daemon.h"
 #include "protocols/ports.h"
 #include "sim/timer.h"
@@ -94,6 +95,10 @@ struct HierConfig {
   size_t image_serve_budget = 8;
 };
 
+// DEPRECATED view: the counters now live in the MetricsRegistry under
+// {obs::Protocol::kHier, <field name>, self}; HierDaemon::stats() assembles
+// this struct on demand for legacy callers. New code should query
+// net.obs().metrics directly.
 struct HierStats {
   uint64_t heartbeats_sent = 0;
   uint64_t updates_sent = 0;
@@ -142,7 +147,9 @@ class HierDaemon : public MembershipDaemon {
   // In-flight solicited exchange slots (bootstrap + sync, exhausted ones
   // included) tracked at `level` — bounded by the group size + 1.
   size_t pending_exchanges(int level) const;
-  const HierStats& stats() const { return stats_; }
+  // Deprecated registry view (see HierStats). Returns by value; binding to
+  // a const reference at call sites still works via lifetime extension.
+  HierStats stats() const;
   const HierConfig& config() const { return config_; }
   // Highest leadership epoch this node knows for `level` (its own minted
   // epoch while it leads). Persists across joins/leaves of the level —
@@ -375,12 +382,41 @@ class HierDaemon : public MembershipDaemon {
                             int arrival_level);
   void refresh_tick();
 
+  // Registry handles, one per HierStats field, resolved once at
+  // construction (keyed {kHier, name, self_}).
+  struct Metrics {
+    obs::Counter* heartbeats_sent = nullptr;
+    obs::Counter* updates_sent = nullptr;
+    obs::Counter* update_records_applied = nullptr;
+    obs::Counter* elections_started = nullptr;
+    obs::Counter* coordinators_sent = nullptr;
+    obs::Counter* bootstraps_requested = nullptr;
+    obs::Counter* bootstraps_served = nullptr;
+    obs::Counter* syncs_requested = nullptr;
+    obs::Counter* syncs_served = nullptr;
+    obs::Counter* gaps_recovered_by_piggyback = nullptr;
+    obs::Counter* relayed_purges = nullptr;
+    obs::Counter* epochs_minted = nullptr;
+    obs::Counter* stale_epoch_rejects = nullptr;
+    obs::Counter* epochs_superseded = nullptr;
+    obs::Counter* deaf_backlogs_dropped = nullptr;
+    obs::Counter* exchange_retries = nullptr;
+    obs::Counter* exchange_budget_exhausted = nullptr;
+    obs::Counter* busy_sent = nullptr;
+    obs::Counter* busy_deferrals = nullptr;
+    obs::Counter* out_log_compacted = nullptr;
+    obs::Histogram* image_serve_entries = nullptr;
+  };
+  void resolve_metrics();
+  // Structured event record: every call site documents its payload words.
+  void trace(obs::TraceKind kind, int level, uint64_t a = 0, uint64_t b = 0);
+
   HierConfig config_;
   std::vector<std::unique_ptr<LevelState>> levels_;
   sim::PeriodicTimer heartbeat_timer_;
   sim::PeriodicTimer scan_timer_;
   sim::PeriodicTimer refresh_timer_;
-  HierStats stats_;
+  Metrics metrics_;
   uint64_t hb_seq_ = 0;
   // Image-serve admission window (daemon-wide: the expensive part of a
   // serve is the same full_view() whatever level asked for it).

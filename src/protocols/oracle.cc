@@ -400,6 +400,29 @@ void MembershipOracle::check_join_probes() {
                 [](const JoinProbe& p) { return p.pending.empty(); });
 }
 
+namespace {
+
+// Per-wire-kind egress-shed breakdown from the transport's registry totals,
+// e.g. " [egress shed: update=12, sync_response=3]". Empty when nothing was
+// shed (or per-kind attribution is not installed).
+std::string egress_shed_breakdown(const obs::MetricsRegistry& metrics) {
+  constexpr std::string_view kPrefix = "tx_egress_drop_kind_";
+  std::string out;
+  metrics.visit_counters([&](const obs::MetricsRegistry::CounterRow& row) {
+    if (row.protocol != obs::Protocol::kNet || row.node != obs::kNoNode ||
+        row.value == 0 || !row.name.starts_with(kPrefix)) {
+      return;
+    }
+    out += out.empty() ? " [egress shed: " : ", ";
+    out += std::string(row.name.substr(kPrefix.size())) + "=" +
+           std::to_string(row.value);
+  });
+  if (!out.empty()) out += "]";
+  return out;
+}
+
+}  // namespace
+
 void MembershipOracle::check_solicited_rate() {
   // Invariant 10: solicited traffic stays bounded per daemon per check
   // window. The serve side is capped mechanically by admission control
@@ -444,14 +467,16 @@ void MembershipOracle::check_solicited_rate() {
           "solicited-rate", cluster_.hosts()[i], membership::kInvalidNode,
           "served " + std::to_string(served_delta) +
               " full images in one check window (cap " +
-              std::to_string(serve_limit) + ")");
+              std::to_string(serve_limit) + ")" +
+              egress_shed_breakdown(net_.obs().metrics));
     }
     if (requested_delta > request_limit) {
       add_violation(
           "solicited-rate", cluster_.hosts()[i], membership::kInvalidNode,
           "sent " + std::to_string(requested_delta) +
               " solicited requests in one check window (cap " +
-              std::to_string(request_limit) + ")");
+              std::to_string(request_limit) + ")" +
+              egress_shed_breakdown(net_.obs().metrics));
     }
   }
 }

@@ -19,9 +19,35 @@ ProxyDaemon::ProxyDaemon(sim::Simulation& sim, net::Network& net,
       net_(net),
       membership_(membership),
       config_(std::move(config)),
-      tick_timer_(sim, config_.period, [this] { tick(); }) {}
+      tick_timer_(sim, config_.period, [this] { tick(); }) {
+  resolve_metrics();
+}
 
 ProxyDaemon::~ProxyDaemon() { stop(); }
+
+void ProxyDaemon::resolve_metrics() {
+  auto& m = net_.obs().metrics;
+  const obs::NodeId node = self();
+  auto c = [&](std::string_view name) {
+    return m.counter(obs::Protocol::kProxy, name, node);
+  };
+  metrics_.wan_heartbeats_sent = c("wan_heartbeats_sent");
+  metrics_.wan_updates_sent = c("wan_updates_sent");
+  metrics_.wan_messages_received = c("wan_messages_received");
+  metrics_.vip_takeovers = c("vip_takeovers");
+  metrics_.relays_to_local_group = c("relays_to_local_group");
+  metrics_.is_leader = m.gauge(obs::Protocol::kProxy, "is_leader", node);
+}
+
+ProxyStats ProxyDaemon::stats() const {
+  ProxyStats s;
+  s.wan_heartbeats_sent = metrics_.wan_heartbeats_sent->value;
+  s.wan_updates_sent = metrics_.wan_updates_sent->value;
+  s.wan_messages_received = metrics_.wan_messages_received->value;
+  s.vip_takeovers = metrics_.vip_takeovers->value;
+  s.relays_to_local_group = metrics_.relays_to_local_group->value;
+  return s;
+}
 
 void ProxyDaemon::start() {
   if (running_) return;
@@ -49,6 +75,7 @@ void ProxyDaemon::stop() {
     net_.assign_virtual_ip(config_.local_vip, net::kInvalidHost);
   }
   is_leader_ = false;
+  metrics_.is_leader->set(0.0);
   running_ = false;
 }
 
@@ -77,12 +104,16 @@ void ProxyDaemon::evaluate_leadership() {
   const bool should_lead = lowest == self();
   if (should_lead && !is_leader_) {
     is_leader_ = true;
-    ++stats_.vip_takeovers;
+    metrics_.vip_takeovers->add();
+    metrics_.is_leader->set(1.0);
+    net_.obs().tracer.record(obs::TraceKind::kVipTakeover, self(), sim_.now(),
+                             -1, config_.dc);
     net_.assign_virtual_ip(config_.local_vip, self());
     TAMP_LOG(Info) << "proxy " << self() << " takes over VIP of dc "
                    << config_.dc;
   } else if (!should_lead && is_leader_) {
     is_leader_ = false;
+    metrics_.is_leader->set(0.0);
     if (net_.virtual_ip_owner(config_.local_vip) == self()) {
       net_.assign_virtual_ip(config_.local_vip, net::kInvalidHost);
     }
@@ -128,9 +159,9 @@ void ProxyDaemon::send_wan(const Message& message, bool is_update) {
     if (dc == config_.dc) continue;
     net_.send_to_virtual(self(), vip, config_.wan_port, payload);
     if (is_update) {
-      ++stats_.wan_updates_sent;
+      metrics_.wan_updates_sent->add();
     } else {
-      ++stats_.wan_heartbeats_sent;
+      metrics_.wan_heartbeats_sent->add();
     }
   }
 }
@@ -138,7 +169,7 @@ void ProxyDaemon::send_wan(const Message& message, bool is_update) {
 void ProxyDaemon::on_wan_packet(const net::Packet& packet) {
   auto message = decode_message(packet);
   if (!message) return;
-  ++stats_.wan_messages_received;
+  metrics_.wan_messages_received->add();
   if (auto* heartbeat = std::get_if<ProxyHeartbeatMsg>(&*message)) {
     ingest_remote(heartbeat->dc, heartbeat->seq, heartbeat->summary, true);
   } else if (auto* update = std::get_if<ProxyUpdateMsg>(&*message)) {
@@ -178,7 +209,7 @@ void ProxyDaemon::ingest_remote(net::DatacenterId dc, uint64_t seq,
     net_.send_multicast(self(), config_.proxy_channel,
                         config_.proxy_channel_ttl, config_.relay_port,
                         encode_message(Message{relay}));
-    ++stats_.relays_to_local_group;
+    metrics_.relays_to_local_group->add();
   }
 }
 

@@ -27,6 +27,7 @@
 #include <optional>
 
 #include "membership/messages.h"
+#include "obs/obs.h"
 #include "protocols/hier.h"
 #include "protocols/ports.h"
 #include "sim/timer.h"
@@ -48,6 +49,10 @@ struct ProxyConfig {
   net::Port relay_port = protocols::kProxyWanPort + 1;  // local relay channel
 };
 
+// DEPRECATED view: the counters live in the MetricsRegistry under
+// {obs::Protocol::kProxy, <field name>, self}; ProxyDaemon::stats()
+// assembles this struct on demand. New code should query
+// net.obs().metrics directly.
 struct ProxyStats {
   uint64_t wan_heartbeats_sent = 0;
   uint64_t wan_updates_sent = 0;
@@ -80,7 +85,9 @@ class ProxyDaemon {
 
   membership::NodeId self() const { return membership_.self(); }
   const ProxyConfig& config() const { return config_; }
-  const ProxyStats& stats() const { return stats_; }
+  // Deprecated registry view, returned by value (binding it to a const
+  // reference at a call site still works via lifetime extension).
+  ProxyStats stats() const;
 
   // True when this proxy currently believes it is the datacenter's proxy
   // leader (and therefore holds the VIP).
@@ -114,6 +121,18 @@ class ProxyDaemon {
                      const membership::ServiceSummary& summary,
                      bool relay_locally);
   void expire_remotes();
+  void resolve_metrics();
+
+  // Registry handles under (obs::Protocol::kProxy, <name>, self). Field
+  // names mirror the deprecated ProxyStats view exactly.
+  struct Metrics {
+    obs::Counter* wan_heartbeats_sent = nullptr;
+    obs::Counter* wan_updates_sent = nullptr;
+    obs::Counter* wan_messages_received = nullptr;
+    obs::Counter* vip_takeovers = nullptr;
+    obs::Counter* relays_to_local_group = nullptr;
+    obs::Gauge* is_leader = nullptr;  // 1.0 while holding the VIP
+  };
 
   sim::Simulation& sim_;
   net::Network& net_;
@@ -125,7 +144,7 @@ class ProxyDaemon {
   uint64_t seq_ = 0;
   membership::ServiceSummary local_summary_;
   std::map<net::DatacenterId, RemoteDirectory> remote_;
-  ProxyStats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace tamp::proxy

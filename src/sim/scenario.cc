@@ -186,6 +186,12 @@ class ScenarioRunner {
     net_config.egress_queue_bytes = 256 * 1024;
     net_ = std::make_unique<net::Network>(sim_, topo_, net_config);
     net_->set_fault_injector(&controller_);
+    if (spec_.trace) {
+      obs::Tracer& tracer = net_->obs().tracer;
+      tracer.set_capacity(spec_.trace_capacity);
+      tracer.set_kinds_mask(spec_.trace_kinds_mask);
+      tracer.set_enabled(true);
+    }
 
     protocols::Cluster::Options opts;
     opts.scheme = spec_.scheme;
@@ -236,7 +242,87 @@ class ScenarioRunner {
     result.events = sim_.events_executed();
     result.final_converged = cluster_->converged_count();
     result.final_running = cluster_->running_indices().size();
+    check_conservation(result);
+    if (spec_.trace) result.trace_jsonl = net_->obs().tracer.to_jsonl();
+    if (spec_.metrics) result.metrics_json = net_->obs().metrics.to_json();
     return result;
+  }
+
+  // Cross-checks the registry's accounting identities after the run. These
+  // hold exactly — everything is counted at one place per event — so any
+  // mismatch is double-counting or a leak in the instrumentation, graded
+  // as a scenario failure like an oracle violation.
+  void check_conservation(ScenarioResult& result) {
+    const obs::MetricsRegistry& m = net_->obs().metrics;
+    if (!m.enabled()) return;
+    auto fail = [&](const std::string& what, uint64_t lhs, uint64_t rhs) {
+      result.passed = false;
+      if (!result.report.empty()) result.report += "\n";
+      result.report += "metrics-conservation: " + what + " (" +
+                       std::to_string(lhs) + " != " + std::to_string(rhs) +
+                       ")";
+    };
+    // Per-host sums match the network-wide totals for every traffic family.
+    for (const char* name :
+         {"tx_messages", "tx_wire_bytes", "rx_messages", "rx_wire_bytes",
+          "rx_multicast_messages", "dropped_messages", "tx_dropped_egress"}) {
+      const uint64_t total =
+          m.counter_value(obs::Protocol::kNet, name, obs::kNoNode);
+      const uint64_t hosts =
+          m.counter_sum_over_nodes(obs::Protocol::kNet, name);
+      if (total != hosts) {
+        fail(std::string("per-host ") + name + " != network total", hosts,
+             total);
+      }
+    }
+    // The per-kind attribution decomposes the totals exactly.
+    const uint64_t tx_total =
+        m.counter_value(obs::Protocol::kNet, "tx_messages", obs::kNoNode);
+    const uint64_t tx_kinds =
+        m.counter_prefix_sum(obs::Protocol::kNet, "tx_kind_");
+    if (tx_total != tx_kinds) {
+      fail("per-kind tx != tx_messages total", tx_kinds, tx_total);
+    }
+    const uint64_t shed_total = m.counter_value(
+        obs::Protocol::kNet, "tx_dropped_egress", obs::kNoNode);
+    const uint64_t shed_kinds =
+        m.counter_prefix_sum(obs::Protocol::kNet, "tx_egress_drop_kind_");
+    if (shed_total != shed_kinds) {
+      fail("per-kind egress drops != tx_dropped_egress total", shed_kinds,
+           shed_total);
+    }
+    // Protocol-vs-transport identities for messages sent at exactly one
+    // place: every protocol-counted send was transmitted, shed at the NIC
+    // queue, or attempted while the host was down. (Hier heartbeats are
+    // excluded: goodbye heartbeats bypass the protocol counter.)
+    auto identity = [&](obs::Protocol protocol, std::string_view counter,
+                        const std::string& kind) {
+      const uint64_t sent = m.counter_sum_over_nodes(protocol, counter);
+      const uint64_t wire =
+          m.counter_value(obs::Protocol::kNet, "tx_kind_" + kind) +
+          m.counter_value(obs::Protocol::kNet, "tx_egress_drop_kind_" + kind) +
+          m.counter_value(obs::Protocol::kNet, "tx_down_kind_" + kind);
+      if (sent != wire) {
+        fail(std::string(counter) + " != wire " + kind + " accounting", sent,
+             wire);
+      }
+    };
+    switch (spec_.scheme) {
+      case Scheme::kHierarchical:
+        identity(obs::Protocol::kHier, "updates_sent", "update");
+        identity(obs::Protocol::kHier, "coordinators_sent", "coordinator");
+        identity(obs::Protocol::kHier, "bootstraps_requested",
+                 "bootstrap_request");
+        identity(obs::Protocol::kHier, "syncs_requested", "sync_request");
+        identity(obs::Protocol::kHier, "busy_sent", "busy");
+        break;
+      case Scheme::kGossip:
+        identity(obs::Protocol::kGossip, "gossips_sent", "gossip");
+        break;
+      case Scheme::kAllToAll:
+        identity(obs::Protocol::kAllToAll, "heartbeats_sent", "heartbeat");
+        break;
+    }
   }
 
  private:
@@ -348,6 +434,8 @@ class ScenarioRunner {
     TAMP_LOG(Debug) << "chaos " << scenario_name(spec_) << " t="
                     << sim::format_time(sim_.now()) << ": "
                     << describe(action);
+    net_->obs().tracer.record(obs::TraceKind::kFault, obs::kNoNode, sim_.now(),
+                              -1, static_cast<uint64_t>(action.index()));
     std::visit(
         Overloaded{
             [&](const CrashFault& f) { crash(f.node); },

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "obs/obs.h"
 #include "protocols/cluster.h"
 #include "sim/fault_plan.h"
 
@@ -45,6 +46,18 @@ struct ScenarioSpec {
   // Extra virtual time simulated past the oracle's quiescence bound, so the
   // quiescent invariants get several check ticks.
   sim::Duration tail = 8 * sim::kSecond;
+  // Observability. When `trace` is set the runner enables the network's
+  // structured tracer (capacity / kinds below) and returns the JSONL dump
+  // in ScenarioResult::trace_jsonl — byte-identical across same-seed runs.
+  // When `metrics` is set, ScenarioResult::metrics_json carries the
+  // registry snapshot. Independent of either flag, every run cross-checks
+  // the registry's conservation identities (per-host sums vs totals,
+  // per-kind decomposition, protocol-vs-transport send counts) and grades a
+  // mismatch as a failure.
+  bool trace = false;
+  size_t trace_capacity = size_t{1} << 16;
+  uint64_t trace_kinds_mask = obs::kAllTraceKinds;
+  bool metrics = false;
 };
 
 // "hierarchical/racked/leader-kill/s3" — the four reproduction coordinates.
@@ -69,6 +82,8 @@ struct ScenarioResult {
   uint64_t events = 0;       // simulation events executed
   size_t final_converged = 0;
   size_t final_running = 0;
+  std::string trace_jsonl;   // filled when spec.trace
+  std::string metrics_json;  // filled when spec.metrics
 };
 
 ScenarioResult run_scenario(const ScenarioSpec& spec);

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""CI gate for observability overhead on the transport hot path.
+
+Reads a google-benchmark ``--benchmark_format=json`` report from
+bench/micro_hotpaths and fails (exit 1) if the per-send observability work
+(BM_ObsHotpathAddition: wire-kind classification + counter bumps + disabled
+tracer record) costs more than BUDGET of a full instrumented unicast send
+(BM_TransportSendUnicast). Keeps "metrics are free enough to leave on"
+an enforced property instead of a hope.
+
+Usage:
+  bench/micro_hotpaths --benchmark_format=json \
+      --benchmark_filter='BM_Obs|BM_TransportSendUnicast' > hotpaths.json
+  tools/check_hotpath_overhead.py hotpaths.json
+"""
+
+import json
+import sys
+
+BUDGET = 0.05  # obs addition may cost at most 5% of a transport send
+NUMERATOR = "BM_ObsHotpathAddition"
+DENOMINATOR = "BM_TransportSendUnicast"
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+
+    times = {}
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        times[bench["name"]] = float(bench["cpu_time"])
+
+    missing = [name for name in (NUMERATOR, DENOMINATOR) if name not in times]
+    if missing:
+        print(f"check_hotpath_overhead: missing benchmark(s) {missing} in "
+              f"{argv[1]} (found: {sorted(times)})", file=sys.stderr)
+        return 2
+
+    obs_ns = times[NUMERATOR]
+    send_ns = times[DENOMINATOR]
+    ratio = obs_ns / send_ns
+    verdict = "ok" if ratio <= BUDGET else "FAIL"
+    print(f"check_hotpath_overhead: {verdict} — obs addition {obs_ns:.1f} ns "
+          f"vs transport send {send_ns:.1f} ns = {ratio:.2%} "
+          f"(budget {BUDGET:.0%})")
+    return 0 if ratio <= BUDGET else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
