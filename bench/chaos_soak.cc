@@ -3,13 +3,19 @@
 // four coordinates (scheme, shape, plan, seed) replay the exact scenario.
 //
 //   bench/chaos_soak --scheme=hierarchical --shape=racked --plan=leader-kill --seed=3
-//   bench/chaos_soak --plan=all --runs=20        # soak: 20 seeds x 7 plans
+//   bench/chaos_soak --plan=all --runs=20        # soak: 20 seeds x all plans
 //   bench/chaos_soak --trace=trace.jsonl         # deterministic event trace
 //   bench/chaos_soak --metrics=metrics.json      # registry snapshots
+//   bench/chaos_soak --jobs=8                    # parallel scenario runner
+//
+// Output (stdout, trace, metrics) is emitted in sweep order regardless of
+// --jobs, and every scenario is a pure function of its spec, so the bytes
+// produced at --jobs=1 and --jobs=8 are identical.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "sim/parallel_runner.h"
 #include "sim/scenario.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -28,6 +34,9 @@ int main(int argc, char** argv) {
   auto& seed_flag = flags.add_int("seed", 1, "first seed");
   auto& runs_flag = flags.add_int("runs", 1, "consecutive seeds to sweep");
   auto& nodes_flag = flags.add_int("nodes", 12, "cluster size");
+  auto& jobs_flag = flags.add_int(
+      "jobs", 1, "worker threads (0 = hardware concurrency); output is"
+                 " byte-identical for any value");
   auto& verbose_flag =
       flags.add_bool("verbose", false, "log each fault as it fires");
   auto& trace_flag = flags.add_string(
@@ -98,13 +107,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  int ran = 0;
+  // Collect the sweep in canonical order first; the runner preserves this
+  // order in its output stream no matter how many workers execute it.
+  std::vector<chaos::ScenarioSpec> specs;
   int skipped = 0;
-  int failed = 0;
   for (int run = 0; run < runs_flag; ++run) {
     for (protocols::Scheme scheme : schemes) {
       for (chaos::ShapeKind shape : shapes) {
         for (chaos::PlanKind plan : plans) {
+          if (!chaos::plan_applicable(scheme, plan)) {
+            ++skipped;
+            continue;
+          }
           chaos::ScenarioSpec spec;
           spec.scheme = scheme;
           spec.shape = shape;
@@ -113,42 +127,44 @@ int main(int argc, char** argv) {
           spec.nodes = static_cast<size_t>(nodes_flag);
           spec.trace = trace_out != nullptr;
           spec.metrics = metrics_out != nullptr;
-          if (!chaos::plan_applicable(scheme, plan)) {
-            ++skipped;
-            continue;
-          }
-          chaos::ScenarioResult result = chaos::run_scenario(spec);
-          ++ran;
-          if (trace_out != nullptr) {
-            std::fprintf(trace_out, "{\"scenario\":\"%s\"}\n",
-                         result.name.c_str());
-            std::fputs(result.trace_jsonl.c_str(), trace_out);
-          }
-          if (metrics_out != nullptr) {
-            std::fprintf(metrics_out, "{\"scenario\":\"%s\"}\n",
-                         result.name.c_str());
-            std::fprintf(metrics_out, "%s\n", result.metrics_json.c_str());
-          }
-          std::printf("%-4s %-55s horizon=%6.1fs events=%-8llu checks=%-4llu"
-                      " converged=%zu/%zu\n",
-                      result.passed ? "ok" : "FAIL", result.name.c_str(),
-                      sim::to_seconds(result.horizon),
-                      static_cast<unsigned long long>(result.events),
-                      static_cast<unsigned long long>(result.oracle_checks),
-                      result.final_converged, result.final_running);
-          if (!result.passed) {
-            ++failed;
-            std::printf("%s\nreproduce with: %s\n", result.report.c_str(),
-                        result.repro.c_str());
-          }
+          specs.push_back(spec);
         }
       }
     }
   }
+
+  int failed = 0;
+  chaos::ParallelRunOptions options;
+  options.jobs = static_cast<size_t>(jobs_flag < 0 ? 1 : jobs_flag);
+  options.on_result = [&](size_t, const chaos::ScenarioResult& result) {
+    if (trace_out != nullptr) {
+      std::fprintf(trace_out, "{\"scenario\":\"%s\"}\n", result.name.c_str());
+      std::fputs(result.trace_jsonl.c_str(), trace_out);
+    }
+    if (metrics_out != nullptr) {
+      std::fprintf(metrics_out, "{\"scenario\":\"%s\"}\n",
+                   result.name.c_str());
+      std::fprintf(metrics_out, "%s\n", result.metrics_json.c_str());
+    }
+    std::printf("%-4s %-55s horizon=%6.1fs events=%-8llu checks=%-4llu"
+                " converged=%zu/%zu\n",
+                result.passed ? "ok" : "FAIL", result.name.c_str(),
+                sim::to_seconds(result.horizon),
+                static_cast<unsigned long long>(result.events),
+                static_cast<unsigned long long>(result.oracle_checks),
+                result.final_converged, result.final_running);
+    if (!result.passed) {
+      ++failed;
+      std::printf("%s\nreproduce with: %s\n", result.report.c_str(),
+                  result.repro.c_str());
+    }
+  };
+  chaos::run_scenarios(specs, options);
+
   if (trace_out != nullptr) std::fclose(trace_out);
   if (metrics_out != nullptr) std::fclose(metrics_out);
-  std::printf("chaos_soak: %d scenario(s), %d failed, %d skipped"
+  std::printf("chaos_soak: %zu scenario(s), %d failed, %d skipped"
               " (inapplicable)\n",
-              ran, failed, skipped);
+              specs.size(), failed, skipped);
   return failed > 0 ? 1 : 0;
 }

@@ -1,0 +1,112 @@
+#include "sim/parallel_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace tamp::chaos {
+
+namespace {
+
+using ScenarioFn = std::function<ScenarioResult(const ScenarioSpec&)>;
+
+// A thrown scenario becomes a failed result for its own slot; the report
+// carries the exception text next to the repro command so a red entry in a
+// parallel batch is as actionable as an oracle violation.
+ScenarioResult failure_result(const ScenarioSpec& spec,
+                              const std::string& what) {
+  ScenarioResult result;
+  result.passed = false;
+  result.name = scenario_name(spec);
+  result.repro = repro_command(spec);
+  result.report = "parallel-runner: scenario threw: " + what;
+  result.violation_count = 1;
+  return result;
+}
+
+ScenarioResult run_one(const ScenarioFn& run, const ScenarioSpec& spec) {
+  try {
+    return run(spec);
+  } catch (const std::exception& e) {
+    return failure_result(spec, e.what());
+  } catch (...) {
+    return failure_result(spec, "unknown exception");
+  }
+}
+
+}  // namespace
+
+size_t effective_jobs(size_t requested, size_t scenarios) {
+  size_t jobs = requested;
+  if (jobs == 0) {
+    jobs = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  // Surplus workers would only contend on the queue head and exit; don't
+  // spawn them at all.
+  return std::max<size_t>(1, std::min(jobs, std::max<size_t>(1, scenarios)));
+}
+
+std::vector<ScenarioResult> run_scenarios(
+    const std::vector<ScenarioSpec>& specs,
+    const ParallelRunOptions& options) {
+  const ScenarioFn run =
+      options.run ? options.run : ScenarioFn(&run_scenario);
+  std::vector<ScenarioResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  const size_t jobs = effective_jobs(options.jobs, specs.size());
+  if (jobs == 1) {
+    // Inline serial path — the baseline the parallel path must match
+    // byte-for-byte. No threads are spawned.
+    for (size_t i = 0; i < specs.size(); ++i) {
+      results[i] = run_one(run, specs[i]);
+      if (options.on_result) options.on_result(i, results[i]);
+    }
+    return results;
+  }
+
+  // Shared work queue: the next unclaimed spec index. Workers self-schedule
+  // by claiming tickets, which load-balances uneven scenario costs without
+  // any static partitioning.
+  std::atomic<size_t> next{0};
+  std::mutex mutex;
+  std::condition_variable completed_cv;
+  std::vector<char> completed(specs.size(), 0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) return;
+        ScenarioResult result = run_one(run, specs[i]);
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          results[i] = std::move(result);
+          completed[i] = 1;
+        }
+        completed_cv.notify_all();
+      }
+    });
+  }
+
+  // Ordered drain on the calling thread: emit result i only once 0..i-1
+  // have been emitted, regardless of completion order. After `completed[i]`
+  // is observed under the lock, the owning worker never touches slot i
+  // again, so the callback may read it unlocked.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    std::unique_lock<std::mutex> lock(mutex);
+    completed_cv.wait(lock, [&] { return completed[i] != 0; });
+    lock.unlock();
+    if (options.on_result) options.on_result(i, results[i]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  return results;
+}
+
+}  // namespace tamp::chaos

@@ -544,4 +544,28 @@ ScenarioResult run_scenario(const ScenarioSpec& spec) {
   return runner.run();
 }
 
+std::vector<ScenarioSpec> full_matrix(const MatrixOptions& options) {
+  std::vector<ScenarioSpec> specs;
+  for (Scheme scheme :
+       {Scheme::kAllToAll, Scheme::kGossip, Scheme::kHierarchical}) {
+    for (ShapeKind shape : kAllShapeKinds) {
+      for (PlanKind plan : kAllPlanKinds) {
+        if (!plan_applicable(scheme, plan)) continue;
+        for (uint64_t s = 0; s < options.seed_count; ++s) {
+          ScenarioSpec spec;
+          spec.scheme = scheme;
+          spec.shape = shape;
+          spec.plan = plan;
+          spec.seed = options.first_seed + s;
+          spec.nodes = options.nodes;
+          spec.trace = options.trace;
+          spec.metrics = options.metrics;
+          specs.push_back(spec);
+        }
+      }
+    }
+  }
+  return specs;
+}
+
 }  // namespace tamp::chaos

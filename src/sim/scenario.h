@@ -11,6 +11,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "obs/obs.h"
 #include "protocols/cluster.h"
@@ -87,5 +88,19 @@ struct ScenarioResult {
 };
 
 ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+// The full chaos matrix: every applicable (scheme, shape, plan, seed) tuple
+// for `seed_count` consecutive seeds from `first_seed`, in canonical sweep
+// order (scheme-major, then shape, then plan, then seed). This is the single
+// source of truth for the grid the matrix test, chaos_soak's all/all/all
+// sweep, and the parallel-runner equivalence suite all iterate.
+struct MatrixOptions {
+  uint64_t first_seed = 1;
+  uint64_t seed_count = 3;
+  size_t nodes = 12;
+  bool trace = false;
+  bool metrics = false;
+};
+std::vector<ScenarioSpec> full_matrix(const MatrixOptions& options = {});
 
 }  // namespace tamp::chaos

@@ -12,16 +12,24 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_time_source(std::function<std::string()> source) {
+  std::lock_guard<std::mutex> lock(mutex_);
   time_source_ = std::move(source);
 }
 
-void Logger::clear_time_source() { time_source_ = nullptr; }
+void Logger::clear_time_source() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  time_source_ = nullptr;
+}
 
 void Logger::set_sink(std::function<void(LogLevel, const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mutex_);
   sink_ = std::move(sink);
 }
 
-void Logger::clear_sink() { sink_ = nullptr; }
+void Logger::clear_sink() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_ = nullptr;
+}
 
 const char* log_level_name(LogLevel level) {
   switch (level) {
@@ -41,6 +49,9 @@ const char* log_level_name(LogLevel level) {
 
 void Logger::write(LogLevel level, const std::string& message) {
   if (!enabled(level)) return;
+  // One lock per emitted line: hooks can't be swapped mid-line and lines
+  // from concurrent scenario threads never interleave mid-line.
+  std::lock_guard<std::mutex> lock(mutex_);
   std::string prefix;
   if (time_source_) prefix = "[" + time_source_() + "] ";
   if (sink_) {

@@ -3,14 +3,23 @@
 // Usage:
 //   TAMP_LOG(Info) << "node " << id << " elected leader";
 //
-// The logger is process-global. Severity below the configured threshold is
-// compiled down to a no-op stream. Benchmarks set the threshold to Warn so
-// logging never perturbs measured rates. A simulation-time hook can be
-// installed so log lines carry virtual time instead of wall time.
+// The logger is process-global — the one piece of shared mutable state the
+// parallel chaos runner's scenario threads touch — so it is thread-safe:
+// the level gate is a relaxed atomic (one load on the fast path of a
+// disabled statement) and line emission is serialized under a mutex, so
+// concurrent scenarios never tear each other's lines. Severity below the
+// configured threshold is compiled down to a no-op stream. Benchmarks set
+// the threshold to Warn so logging never perturbs measured rates. A
+// simulation-time hook can be installed so log lines carry virtual time
+// instead of wall time; note that sink and time-source hooks are global,
+// so per-scenario state must not leak into them (scenario code instead
+// prefixes its lines with the scenario name).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -28,8 +37,10 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   // When set, each line is prefixed with the returned virtual-time string.
   void set_time_source(std::function<std::string()> source);
@@ -42,12 +53,14 @@ class Logger {
   void write(LogLevel level, const std::string& message);
 
   bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(level_);
+    return static_cast<int>(level) >=
+           static_cast<int>(level_.load(std::memory_order_relaxed));
   }
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  std::mutex mutex_;  // guards the hooks and serializes line emission
   std::function<std::string()> time_source_;
   std::function<void(LogLevel, const std::string&)> sink_;
 };

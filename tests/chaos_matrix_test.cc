@@ -12,28 +12,9 @@
 namespace tamp::chaos {
 namespace {
 
-using protocols::Scheme;
-
-std::vector<ScenarioSpec> matrix() {
-  std::vector<ScenarioSpec> specs;
-  for (Scheme scheme :
-       {Scheme::kAllToAll, Scheme::kGossip, Scheme::kHierarchical}) {
-    for (ShapeKind shape : kAllShapeKinds) {
-      for (PlanKind plan : kAllPlanKinds) {
-        if (!plan_applicable(scheme, plan)) continue;
-        for (uint64_t seed : {1u, 2u, 3u}) {
-          ScenarioSpec spec;
-          spec.scheme = scheme;
-          spec.shape = shape;
-          spec.plan = plan;
-          spec.seed = seed;
-          specs.push_back(spec);
-        }
-      }
-    }
-  }
-  return specs;
-}
+// The grid itself comes from full_matrix() — the same spec list the
+// parallel runner's CI gate sweeps via bench/chaos_soak --jobs=N.
+std::vector<ScenarioSpec> matrix() { return full_matrix(); }
 
 std::string param_name(const ::testing::TestParamInfo<ScenarioSpec>& info) {
   std::string name = scenario_name(info.param);

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <mutex>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/stats.h"
@@ -251,6 +255,46 @@ TEST(Logging, TimeSourcePrefixes) {
   logger.set_level(LogLevel::kWarn);
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0], "[1.5s] tick");
+}
+
+// Regression for the parallel chaos runner's shared-state audit: the
+// process-global Logger is written from every scenario worker thread, so
+// concurrent statements must neither race (TSan-clean) nor tear — every
+// captured line is exactly one of the strings some thread logged.
+TEST(Logging, ConcurrentWritersDoNotTearLines) {
+  auto& logger = Logger::instance();
+  std::mutex mu;
+  std::vector<std::string> lines;
+  logger.set_level(LogLevel::kInfo);
+  logger.set_sink([&](LogLevel, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu);
+    lines.push_back(line);
+  });
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([t] {
+      for (int i = 0; i < kLines; ++i) {
+        TAMP_LOG(Info) << "writer " << t << " line " << i;
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  logger.clear_sink();
+  logger.set_level(LogLevel::kWarn);
+  ASSERT_EQ(lines.size(), static_cast<size_t>(kThreads * kLines));
+  for (const std::string& line : lines) {
+    // "writer <t> line <i>" with t and i in range — an interleaved or torn
+    // line fails to reparse.
+    int t = -1, i = -1;
+    ASSERT_EQ(std::sscanf(line.c_str(), "writer %d line %d", &t, &i), 2)
+        << "torn line: " << line;
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, kThreads);
+    EXPECT_GE(i, 0);
+    EXPECT_LT(i, kLines);
+  }
 }
 
 TEST(LogLevelNames, AllNamed) {
