@@ -51,9 +51,12 @@ LossResult run(int nodes, double loss, int piggyback, uint64_t seed) {
   for (size_t i = 0; i < built.cluster->size(); ++i) {
     auto* daemon = built.cluster->hier_daemon(i);
     if (daemon == nullptr || !daemon->running()) continue;
-    result.piggyback_recoveries +=
-        daemon->stats().gaps_recovered_by_piggyback;
-    result.syncs += daemon->stats().syncs_requested;
+    const obs::MetricsRegistry& m = built.network->obs().metrics;
+    result.piggyback_recoveries += m.counter_value(
+        obs::Protocol::kHier, "gaps_recovered_by_piggyback", daemon->self());
+    result.syncs +=
+        m.counter_value(obs::Protocol::kHier, "syncs_requested",
+                        daemon->self());
   }
   return result;
 }

@@ -62,10 +62,12 @@ DepthResult run(int branching, int depth, int hosts_per_leaf,
     }
   }
 
-  net.reset_stats();
+  net.obs().metrics.reset(obs::Protocol::kNet);
   sim.run_until(sim.now() + 10 * sim::kSecond);
   result.bandwidth_mbps =
-      static_cast<double>(net.total_stats().rx_wire_bytes) / 10.0 / 1e6;
+      static_cast<double>(net.obs().metrics.counter_value(
+          obs::Protocol::kNet, "rx_wire_bytes")) /
+      10.0 / 1e6;
 
   const sim::Time killed_at = sim.now();
   cluster.kill(victim_index);

@@ -27,6 +27,9 @@ struct ExperimentSettings {
   // Pad per-node membership info to the paper's measured 228 bytes.
   size_t heartbeat_pad = 228;
   sim::Duration settle = 20 * sim::kSecond;
+  // Hier-only tuning (anti-entropy mode, refresh cadence); ignored by the
+  // other schemes.
+  protocols::HierConfig hier;
 };
 
 struct BuiltCluster {
@@ -53,6 +56,7 @@ inline BuiltCluster build_cluster(const ExperimentSettings& settings) {
   protocols::Cluster::Options opts;
   opts.scheme = settings.scheme;
   opts.heartbeat_pad = settings.heartbeat_pad;
+  opts.hier = settings.hier;
   // Gossip mistake probability 0.1% -> the calibrated adaptive tfail.
   built.cluster = std::make_unique<protocols::Cluster>(
       *built.sim, *built.network, built.layout.hosts, opts);

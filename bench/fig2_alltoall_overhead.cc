@@ -53,11 +53,11 @@ int main(int argc, char** argv) {
       BuiltCluster built = build_cluster(settings);
       built.cluster->start_all();
       built.sim->run_until(8 * sim::kSecond);
-      built.network->reset_stats();
+      built.network->obs().metrics.reset(obs::Protocol::kNet);
       built.sim->run_until(built.sim->now() + 5 * sim::kSecond);
       pkts_per_node =
-          static_cast<double>(
-              built.network->total_stats().rx_multicast_messages) /
+          static_cast<double>(built.network->obs().metrics.counter_value(
+              obs::Protocol::kNet, "rx_multicast_messages")) /
           5.0 / static_cast<double>(nodes);
     } else {
       pkts_per_node = static_cast<double>(nodes - 1);  // exact for all-to-all

@@ -61,10 +61,12 @@ Scorecard evaluate(protocols::Scheme scheme) {
   if (!cluster.converged()) return {};
 
   Scorecard card;
-  net.reset_stats();
+  net.obs().metrics.reset(obs::Protocol::kNet);
   sim.run_until(sim.now() + 10 * sim::kSecond);
   card.bandwidth_kbps =
-      static_cast<double>(net.total_stats().rx_wire_bytes) / 10.0 / 1e3;
+      static_cast<double>(net.obs().metrics.counter_value(
+          obs::Protocol::kNet, "rx_wire_bytes")) /
+      10.0 / 1e3;
 
   const sim::Time killed_at = sim.now();
   cluster.kill(victim_index);

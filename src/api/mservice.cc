@@ -83,6 +83,33 @@ ControlResponse MService::control(const ControlRequest& request) {
         });
     return response;
   }
+  if (const auto* anti = std::get_if<AntiEntropyQuery>(&request)) {
+    if (anti->version != kControlApiVersion) {
+      response.status = Status::Error(
+          "AntiEntropyQuery version " + std::to_string(anti->version) +
+          " not supported (this service speaks v" +
+          std::to_string(kControlApiVersion) + ")");
+      return response;
+    }
+    if (daemon_ == nullptr || !daemon_->running()) {
+      response.status = Status::Error("anti-entropy query requires run()");
+      return response;
+    }
+    const obs::MetricsRegistry& metrics = net_.obs().metrics;
+    auto counter = [&](std::string_view name) {
+      return metrics.counter_value(obs::Protocol::kHier, name, self_);
+    };
+    AntiEntropyStats& stats = response.anti_entropy;
+    stats.mode = config_.system.anti_entropy_mode;
+    stats.digests_sent = counter("digests_sent");
+    stats.digest_pulls_sent = counter("digest_pulls_sent");
+    stats.digest_pulls_served = counter("digest_pulls_served");
+    stats.deltas_sent = counter("deltas_sent");
+    stats.delta_rows_shipped = counter("delta_rows_shipped");
+    stats.digest_rows_suppressed = counter("digest_rows_suppressed");
+    stats.digest_full_fallbacks = counter("digest_full_fallbacks");
+    return response;
+  }
   if (const auto* trace = std::get_if<TraceControl>(&request)) {
     if (trace->version != kControlApiVersion) {
       response.status = Status::Error(
@@ -162,6 +189,12 @@ int MService::run() {
   hier.max_ttl = config_.system.max_ttl;
   hier.period = static_cast<sim::Duration>(1e9 / config_.system.mcast_freq);
   hier.max_losses = config_.system.max_loss;
+  hier.anti_entropy_mode = config_.system.anti_entropy_mode == "digest"
+                               ? protocols::AntiEntropyMode::kDigest
+                               : protocols::AntiEntropyMode::kFull;
+  hier.digest_interval =
+      static_cast<sim::Duration>(config_.system.digest_interval * 1e9);
+  hier.digest_max_rows_per_delta = config_.system.digest_max_rows_per_delta;
 
   membership::EntryData own = membership::make_representative_entry(self_, 1);
   own.services.clear();

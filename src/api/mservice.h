@@ -29,18 +29,20 @@
 
 namespace tamp::api {
 
-// --- control surface (v3) --------------------------------------------------
+// --- control surface (v4) --------------------------------------------------
 //
 // The paper's `control(int cmd, void *arg)` became an enum + double in v1;
-// v2 replaced it with typed, versioned request/response structs. v3 adds
+// v2 replaced it with typed, versioned request/response structs. v3 added
 // the observability requests: MetricsQuery reads this node's registry
-// counters, TraceControl drives the network's structured tracer. The
-// versioned requests carry their wire version explicitly and are rejected
-// on mismatch — a v2 client sending a v3-only request (or a v3 struct
-// stamped with the old version) gets a Status error, never silent
-// misinterpretation. Parameter changes are requests validated before
-// run(); queries work on the live daemon.
-inline constexpr int kControlApiVersion = 3;
+// counters, TraceControl drives the network's structured tracer. v4 adds
+// AntiEntropyQuery, reporting the configured anti-entropy mode and the
+// digest-round economics (rows shipped vs. suppressed, full-image
+// fallbacks). The versioned requests carry their wire version explicitly
+// and are rejected on mismatch — an older client sending a newer-only
+// request (or a struct stamped with the old version) gets a Status error,
+// never silent misinterpretation. Parameter changes are requests validated
+// before run(); queries work on the live daemon.
+inline constexpr int kControlApiVersion = 4;
 
 struct SetFrequencyRequest {
   double heartbeats_per_second = 1.0;  // MCAST_FREQ
@@ -74,9 +76,18 @@ struct TraceControl {
   uint64_t kinds_mask = obs::kAllTraceKinds;   // subset of kAllTraceKinds
 };
 
+// Report the anti-entropy configuration and digest-round statistics
+// (requires run()). Versioned like MetricsQuery: a request stamped with an
+// older API version is rejected — pre-v4 clients do not know digest mode
+// exists and would misread the stats.
+struct AntiEntropyQuery {
+  int version = kControlApiVersion;
+};
+
 using ControlRequest =
     std::variant<SetFrequencyRequest, SetMaxLossRequest, SetMaxTtlRequest,
-                 LeadershipQuery, MetricsQuery, TraceControl>;
+                 LeadershipQuery, MetricsQuery, TraceControl,
+                 AntiEntropyQuery>;
 
 // One level of the hierarchy as the local daemon sees it.
 struct LeadershipInfo {
@@ -96,6 +107,20 @@ struct MetricValue {
   uint64_t value = 0;
 };
 
+// The digest-round economics this node has observed, from an
+// AntiEntropyQuery. Shipped/suppressed count rows this node *served* (as a
+// delta responder); pulls/deltas/fallbacks cover both roles.
+struct AntiEntropyStats {
+  std::string mode;  // "full" | "digest"
+  uint64_t digests_sent = 0;
+  uint64_t digest_pulls_sent = 0;
+  uint64_t digest_pulls_served = 0;
+  uint64_t deltas_sent = 0;
+  uint64_t delta_rows_shipped = 0;
+  uint64_t digest_rows_suppressed = 0;
+  uint64_t digest_full_fallbacks = 0;
+};
+
 struct ControlResponse {
   int version = kControlApiVersion;
   Status status;
@@ -104,6 +129,8 @@ struct ControlResponse {
   std::vector<LeadershipInfo> leadership;   // one entry per level
   // Filled for MetricsQuery (empty otherwise), sorted by name.
   std::vector<MetricValue> metrics;
+  // Filled for AntiEntropyQuery (defaults otherwise).
+  AntiEntropyStats anti_entropy;
 };
 
 class MService {

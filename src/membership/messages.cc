@@ -1,6 +1,9 @@
 #include "membership/messages.h"
 
+#include <limits>
+
 #include "membership/codec.h"
+#include "net/buffer_pool.h"
 #include "net/transport.h"
 
 namespace tamp::membership {
@@ -160,16 +163,62 @@ struct Encoder {
     w.u8(static_cast<uint8_t>(m.kind));
     w.varint(static_cast<uint64_t>(m.retry_after));
   }
+  void operator()(const RefreshDigestMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kRefreshDigest));
+    w.u32(m.origin);
+    w.u64(m.origin_incarnation);
+    w.u8(m.level);
+    w.varint(m.epoch);
+    w.u8(m.subtree ? 1 : 0);
+    w.varint(m.row_count);
+    w.u64(m.view_hash);
+    w.varint(m.buckets.size());
+    for (uint64_t bucket : m.buckets) w.u64(bucket);
+    // Delta-varint over the ascending subject list: dense id ranges cost
+    // one byte per row.
+    w.varint(m.subjects.size());
+    NodeId prev = 0;
+    for (NodeId id : m.subjects) {
+      w.varint(id - prev);
+      prev = id;
+    }
+  }
+  void operator()(const RefreshPullMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kRefreshPull));
+    w.u32(m.requester);
+    w.u8(m.level);
+    w.varint(m.epoch);
+    w.u8(m.subtree ? 1 : 0);
+    w.varint(m.bucket_indices.size());
+    for (uint16_t index : m.bucket_indices) w.u16(index);
+    w.varint(m.rows.size());
+    for (const auto& row : m.rows) {
+      w.u32(row.subject);
+      w.u64(row.incarnation);
+      w.u64(row.row_hash);
+    }
+  }
+  void operator()(const RefreshDeltaMsg& m) {
+    w.u8(static_cast<uint8_t>(MessageType::kRefreshDelta));
+    w.u32(m.responder);
+    w.u64(m.responder_incarnation);
+    w.u8(m.level);
+    w.varint(m.epoch);
+    w.u8(m.truncated ? 1 : 0);
+    encode_entries(w, m.entries);
+    w.varint(m.confirmed.size());
+    for (NodeId id : m.confirmed) w.u32(id);
+  }
 };
 
 }  // namespace
 
 net::Payload encode_message(const Message& message, size_t pad_to) {
-  WireWriter w;
+  WireWriter w(net::acquire_buffer());
   w.u8(kWireVersionByte);
   std::visit(Encoder{w}, message);
   if (pad_to > 0) w.pad_to(pad_to);
-  return net::make_payload(w.take());
+  return net::make_pooled_payload(w.take());
 }
 
 std::optional<Message> decode_message(const uint8_t* data, size_t size) {
@@ -329,8 +378,112 @@ std::optional<Message> decode_message(const uint8_t* data, size_t size) {
       if (!r.ok()) return std::nullopt;
       return m;
     }
+    case MessageType::kRefreshDigest: {
+      RefreshDigestMsg m;
+      m.origin = r.u32();
+      m.origin_incarnation = r.u64();
+      m.level = r.u8();
+      m.epoch = r.varint();
+      uint8_t subtree = r.u8();
+      if (subtree > 1) return std::nullopt;
+      m.subtree = subtree != 0;
+      m.row_count = static_cast<uint32_t>(r.varint());
+      m.view_hash = r.u64();
+      uint64_t buckets = r.varint();
+      // A digest never carries more buckets than rows could fill; cap the
+      // count before reserving so a forged length can't balloon allocation.
+      if (buckets > kMaxDigestBuckets) return std::nullopt;
+      for (uint64_t i = 0; i < buckets && r.ok(); ++i) {
+        m.buckets.push_back(r.u64());
+      }
+      uint64_t subjects = r.varint();
+      if (subjects > kMaxDigestSubjects) return std::nullopt;
+      // Scope list rules: only subtree digests carry one, it matches the
+      // advertised row count, and ids ascend strictly (the delta coding
+      // makes a duplicate or regression a zero delta past the first id).
+      if (subjects > 0 && !m.subtree) return std::nullopt;
+      if (m.subtree && subjects != m.row_count) return std::nullopt;
+      NodeId prev = 0;
+      for (uint64_t i = 0; i < subjects && r.ok(); ++i) {
+        const uint64_t delta = r.varint();
+        if (i > 0 && delta == 0) return std::nullopt;
+        const uint64_t id = prev + delta;
+        if (id > std::numeric_limits<NodeId>::max()) return std::nullopt;
+        prev = static_cast<NodeId>(id);
+        m.subjects.push_back(prev);
+      }
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kRefreshPull: {
+      RefreshPullMsg m;
+      m.requester = r.u32();
+      m.level = r.u8();
+      m.epoch = r.varint();
+      uint8_t subtree = r.u8();
+      if (subtree > 1) return std::nullopt;
+      m.subtree = subtree != 0;
+      uint64_t indices = r.varint();
+      if (indices > kMaxDigestBuckets) return std::nullopt;
+      for (uint64_t i = 0; i < indices && r.ok(); ++i) {
+        m.bucket_indices.push_back(r.u16());
+      }
+      uint64_t rows = r.varint();
+      for (uint64_t i = 0; i < rows && r.ok(); ++i) {
+        DigestRowSummary row;
+        row.subject = r.u32();
+        row.incarnation = r.u64();
+        row.row_hash = r.u64();
+        m.rows.push_back(row);
+      }
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
+    case MessageType::kRefreshDelta: {
+      RefreshDeltaMsg m;
+      m.responder = r.u32();
+      m.responder_incarnation = r.u64();
+      m.level = r.u8();
+      m.epoch = r.varint();
+      uint8_t truncated = r.u8();
+      if (truncated > 1) return std::nullopt;
+      m.truncated = truncated != 0;
+      if (!decode_entries(r, m.entries)) return std::nullopt;
+      uint64_t confirmed = r.varint();
+      for (uint64_t i = 0; i < confirmed && r.ok(); ++i) {
+        m.confirmed.push_back(r.u32());
+      }
+      if (!r.ok()) return std::nullopt;
+      return m;
+    }
   }
   return std::nullopt;
+}
+
+uint64_t digest_row_hash(const EntryData& entry) {
+  WireWriter w;
+  w.u32(entry.node);
+  w.u64(entry.incarnation);
+  encode_entry(w, entry);
+  const auto bytes = w.take();
+  // FNV-1a, 64-bit.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 0x100000001b3ULL;
+  }
+  // A zero hash would make a row invisible to the XOR bucket combine.
+  return hash == 0 ? 0x9e3779b97f4a7c15ULL : hash;
+}
+
+size_t digest_bucket_of(NodeId node, size_t bucket_count) {
+  // splitmix64 finalizer: consecutive node ids land in unrelated buckets.
+  uint64_t x = node;
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return bucket_count == 0 ? 0 : static_cast<size_t>(x % bucket_count);
 }
 
 const char* wire_kind_name(uint8_t kind) {
@@ -361,6 +514,12 @@ const char* wire_kind_name(uint8_t kind) {
       return "proxy_update";
     case MessageType::kBusy:
       return "busy";
+    case MessageType::kRefreshDigest:
+      return "refresh_digest";
+    case MessageType::kRefreshPull:
+      return "refresh_pull";
+    case MessageType::kRefreshDelta:
+      return "refresh_delta";
   }
   return "unknown";
 }

@@ -36,6 +36,9 @@ enum class MessageType : uint8_t {
   kProxyHeartbeat = 11,
   kProxyUpdate = 12,
   kBusy = 13,
+  kRefreshDigest = 14,
+  kRefreshPull = 15,
+  kRefreshDelta = 16,
 };
 
 // Wire format versioning. Every frame starts with a tagged version byte;
@@ -44,7 +47,7 @@ enum class MessageType : uint8_t {
 // v1 format. A v1 frame therefore fails the version check outright — it is
 // rejected, never misparsed as a v2 frame (and vice versa).
 inline constexpr uint8_t kWireVersionTag = 0xA0;   // high-nibble magic
-inline constexpr uint8_t kWireVersion = 2;         // current format revision
+inline constexpr uint8_t kWireVersion = 3;         // current format revision
 inline constexpr uint8_t kWireVersionByte = kWireVersionTag | kWireVersion;
 
 // Periodic liveness + node description. The all-to-all protocol uses only
@@ -203,6 +206,91 @@ struct GossipMsg {
   std::vector<GossipRecord> records;
 };
 
+// --- incremental anti-entropy (v3 digest exchange) ----------------------
+//
+// A leader's periodic refresh in digest mode summarizes its view instead of
+// resending it: rows are bucketed by hash(subject) and each bucket carries
+// the XOR of its rows' content hashes (order-independent, so sender and
+// receiver need not iterate identically). A receiver whose buckets all
+// match just touches the covered rows' freshness; mismatched buckets cost
+// one unicast pull (row summaries only) plus one delta carrying the rows
+// that actually differ. The full-image sync path survives solely as the
+// truncation backstop, behind the same admission budget as bootstrap.
+
+// Upper bound a decoder accepts for bucket vectors / pull index lists; far
+// above any sane config (HierConfig defaults to 16 buckets) but low enough
+// that a forged length byte cannot drive a giant allocation.
+inline constexpr size_t kMaxDigestBuckets = 1024;
+// Upper bound on a subtree digest's explicit subject list (and on sync
+// image row counts elsewhere): generous for 10k-node clusters, small
+// enough to bound a forged length's allocation.
+inline constexpr size_t kMaxDigestSubjects = size_t{1} << 20;
+
+// Content hash of one row's replicated state (subject, incarnation, encoded
+// EntryData), FNV-1a over the wire encoding. Local soft state (liveness,
+// last_heard) is deliberately excluded — digests compare what refresh would
+// have shipped, not local bookkeeping.
+uint64_t digest_row_hash(const EntryData& entry);
+// Bucket assignment: mixes the subject id so consecutive node ids spread
+// across buckets instead of striping.
+size_t digest_bucket_of(NodeId node, size_t bucket_count);
+
+// Multicast digest: replaces the full-view refresh broadcast. `subtree`
+// distinguishes the upward subtree summary (level L leader reporting its
+// subtree into the L+1 group) from the downward full-view summary.
+struct RefreshDigestMsg {
+  NodeId origin = kInvalidNode;
+  Incarnation origin_incarnation = 0;
+  uint8_t level = 0;  // channel the digest is for
+  Epoch epoch = 0;    // origin's leadership epoch for that level
+  bool subtree = false;
+  uint32_t row_count = 0;   // rows summarized in scope
+  uint64_t view_hash = 0;   // XOR over all in-scope row hashes
+  std::vector<uint64_t> buckets;  // per-bucket XOR of row hashes
+  // Subtree digests enumerate their scope explicitly (ascending; wire form
+  // is delta-varints, ~1-2 bytes per row). The receiver cannot reconstruct
+  // the origin's subtree from local provenance — every digest or refresh
+  // from a *higher* level re-roots relayed_by, so "rows relayed by the
+  // origin" drifts away from the origin's actual scope and the two sides
+  // would hash different row sets forever. Empty for downward full-view
+  // digests, whose scope (the whole table) both sides already agree on.
+  std::vector<NodeId> subjects;
+};
+
+// One row summary inside a pull: enough for the digest origin to decide
+// whether its copy differs without shipping the entry itself.
+struct DigestRowSummary {
+  NodeId subject = kInvalidNode;
+  Incarnation incarnation = 0;
+  uint64_t row_hash = 0;
+};
+
+// Unicast receiver -> digest origin: "these buckets disagree; here is what
+// I hold in them". The origin answers with a RefreshDeltaMsg.
+struct RefreshPullMsg {
+  NodeId requester = kInvalidNode;
+  uint8_t level = 0;
+  Epoch epoch = 0;     // requester's known leadership epoch for `level`
+  bool subtree = false;  // echoed digest scope
+  std::vector<uint16_t> bucket_indices;  // mismatched buckets, ascending
+  std::vector<DigestRowSummary> rows;    // requester's rows in those buckets
+};
+
+// Unicast digest origin -> requester: full entries for rows that differ or
+// are missing at the requester, plus the ids whose rows already agree (the
+// requester touches those instead of receiving them — the suppressed
+// bytes). `truncated` marks a delta clipped at digest_max_rows_per_delta;
+// the requester escalates to a budget-gated full-image sync.
+struct RefreshDeltaMsg {
+  NodeId responder = kInvalidNode;
+  Incarnation responder_incarnation = 0;
+  uint8_t level = 0;
+  Epoch epoch = 0;
+  bool truncated = false;
+  std::vector<EntryData> entries;
+  std::vector<NodeId> confirmed;
+};
+
 // --- proxy (cross-datacenter) messages ---------------------------------
 
 // Compact availability summary: per service, per partition, how many live
@@ -233,7 +321,8 @@ using Message =
     std::variant<HeartbeatMsg, UpdateMsg, BootstrapRequestMsg,
                  BootstrapResponseMsg, SyncRequestMsg, SyncResponseMsg,
                  ElectionMsg, ElectionAnswerMsg, CoordinatorMsg, GossipMsg,
-                 ProxyHeartbeatMsg, ProxyUpdateMsg, BusyMsg>;
+                 ProxyHeartbeatMsg, ProxyUpdateMsg, BusyMsg, RefreshDigestMsg,
+                 RefreshPullMsg, RefreshDeltaMsg>;
 
 // Encode into a payload buffer. `pad_to` (when > 0) zero-pads the result to
 // a fixed size — used to equalize heartbeat packet sizes across protocols,
@@ -251,7 +340,7 @@ inline std::optional<Message> decode_message(const net::Packet& packet) {
 // The transport attributes per-kind tx / egress-drop counters through an
 // injected classifier (net/ cannot name these types). Kind ids are the
 // MessageType values; 0 means "not a current-version envelope".
-inline constexpr uint8_t kWireKindCount = 14;  // 0 (unknown) + types 1..13
+inline constexpr uint8_t kWireKindCount = 17;  // 0 (unknown) + types 1..16
 
 // Peeks the version and type bytes only — cheap enough for the send path.
 inline uint8_t classify_wire_kind(const uint8_t* data, size_t size) {

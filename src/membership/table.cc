@@ -7,6 +7,42 @@
 
 namespace tamp::membership {
 
+namespace {
+
+bool row_before(const MembershipTable::Row& row, NodeId node) {
+  return row.first < node;
+}
+
+// lower_bound over a sorted row vector; returns end() if absent.
+template <typename Vec>
+auto locate(Vec& rows, NodeId node) {
+  auto it = std::lower_bound(rows.begin(), rows.end(), node, row_before);
+  if (it != rows.end() && it->first == node) return it;
+  return rows.end();
+}
+
+}  // namespace
+
+void MembershipTable::flush() const {
+  if (overlay_.empty()) return;
+  const size_t mid = entries_.size();
+  entries_.insert(entries_.end(), std::make_move_iterator(overlay_.begin()),
+                  std::make_move_iterator(overlay_.end()));
+  std::inplace_merge(
+      entries_.begin(), entries_.begin() + static_cast<ptrdiff_t>(mid),
+      entries_.end(),
+      [](const Row& a, const Row& b) { return a.first < b.first; });
+  overlay_.clear();
+}
+
+MembershipEntry* MembershipTable::find_mutable(NodeId node) {
+  auto it = locate(entries_, node);
+  if (it != entries_.end()) return &it->second;
+  auto ov = locate(overlay_, node);
+  if (ov != overlay_.end()) return &ov->second;
+  return nullptr;
+}
+
 bool MembershipTable::tombstoned(NodeId node, Incarnation incarnation,
                                  sim::Time now) const {
   auto it = tombstones_.find(node);
@@ -25,19 +61,21 @@ ApplyResult MembershipTable::apply(const EntryData& data, Liveness liveness,
     return ApplyResult::kStale;
   }
 
-  auto it = entries_.find(data.node);
-  if (it == entries_.end()) {
+  MembershipEntry* existing = find_mutable(data.node);
+  if (existing == nullptr) {
     MembershipEntry entry;
     entry.data = data;
     entry.liveness = liveness;
     entry.relayed_by = relayed_by;
     entry.last_heard = now;
     entry.first_seen = now;
-    entries_.emplace(data.node, std::move(entry));
+    auto pos = std::lower_bound(overlay_.begin(), overlay_.end(), data.node,
+                                row_before);
+    overlay_.emplace(pos, data.node, std::move(entry));
     return ApplyResult::kAdded;
   }
 
-  MembershipEntry& entry = it->second;
+  MembershipEntry& entry = *existing;
   if (data.incarnation < entry.data.incarnation) return ApplyResult::kStale;
 
   // A direct observation always wins over a relayed one; a relayed record of
@@ -69,7 +107,8 @@ ApplyResult MembershipTable::apply(const EntryData& data, Liveness liveness,
 
 bool MembershipTable::remove(NodeId node, Incarnation incarnation,
                              sim::Time now) {
-  auto it = entries_.find(node);
+  flush();
+  auto it = locate(entries_, node);
   if (it != entries_.end() && it->second.data.incarnation > incarnation) {
     return false;  // we know a newer life of this node
   }
@@ -90,24 +129,40 @@ bool MembershipTable::remove(NodeId node, Incarnation incarnation,
 }
 
 void MembershipTable::touch(NodeId node, sim::Time now) {
-  auto it = entries_.find(node);
-  if (it != entries_.end()) it->second.last_heard = now;
+  MembershipEntry* entry = find_mutable(node);
+  if (entry != nullptr) entry->last_heard = now;
+}
+
+void MembershipTable::reconfirm_relay(NodeId node, NodeId relayed_by,
+                                      sim::Time now) {
+  if (node == relayed_by) return;
+  MembershipEntry* entry = find_mutable(node);
+  if (entry == nullptr || entry->liveness != Liveness::kRelayed) return;
+  entry->relayed_by = relayed_by;
+  entry->last_heard = now;
 }
 
 void MembershipTable::demote_to_relayed(NodeId node, NodeId relayed_by) {
-  auto it = entries_.find(node);
-  if (it != entries_.end() && it->second.liveness == Liveness::kDirect) {
-    it->second.liveness = Liveness::kRelayed;
-    it->second.relayed_by = relayed_by;
+  MembershipEntry* entry = find_mutable(node);
+  if (entry != nullptr && entry->liveness == Liveness::kDirect) {
+    entry->liveness = Liveness::kRelayed;
+    entry->relayed_by = relayed_by;
   }
 }
 
 const MembershipEntry* MembershipTable::find(NodeId node) const {
-  auto it = entries_.find(node);
+  flush();
+  auto it = locate(entries_, node);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+bool MembershipTable::contains(NodeId node) const {
+  return locate(entries_, node) != entries_.end() ||
+         locate(overlay_, node) != overlay_.end();
+}
+
 std::vector<NodeId> MembershipTable::node_ids() const {
+  flush();
   std::vector<NodeId> ids;
   ids.reserve(entries_.size());
   for (const auto& [id, entry] : entries_) ids.push_back(id);
@@ -117,6 +172,7 @@ std::vector<NodeId> MembershipTable::node_ids() const {
 std::vector<const MembershipEntry*> MembershipTable::lookup(
     const std::string& service_regex,
     const std::string& partition_spec) const {
+  flush();
   std::vector<const MembershipEntry*> out;
   std::regex pattern;
   try {
@@ -150,35 +206,42 @@ std::vector<const MembershipEntry*> MembershipTable::lookup(
 std::vector<NodeId> MembershipTable::expire(
     sim::Time now,
     const std::function<sim::Duration(const MembershipEntry&)>& timeout_for) {
+  flush();
   std::vector<NodeId> expired;
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  auto keep = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     sim::Duration timeout = timeout_for(it->second);
     if (timeout >= 0 && now - it->second.last_heard > timeout) {
       expired.push_back(it->first);
-      it = entries_.erase(it);
     } else {
-      ++it;
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
     }
   }
+  entries_.erase(keep, entries_.end());
   return expired;
 }
 
 std::vector<NodeId> MembershipTable::purge_relayed_by(NodeId leader) {
+  flush();
   std::vector<NodeId> purged;
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  auto keep = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->second.liveness == Liveness::kRelayed &&
         it->second.relayed_by == leader) {
       purged.push_back(it->first);
-      it = entries_.erase(it);
     } else {
-      ++it;
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
     }
   }
+  entries_.erase(keep, entries_.end());
   return purged;
 }
 
 void MembershipTable::clear() {
   entries_.clear();
+  overlay_.clear();
   tombstones_.clear();
 }
 

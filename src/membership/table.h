@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "membership/types.h"
@@ -30,6 +31,14 @@ enum class ApplyResult : uint8_t {
 
 class MembershipTable {
  public:
+  // Rows live in a flat sorted vector rather than a node-per-entry tree: the
+  // hot consumers (digest hashing, refresh encoding, piggyback scans) walk
+  // the whole directory every round, and a contiguous scan is what they pay
+  // for. Fresh inserts buffer in a small sorted overlay and merge into the
+  // main vector in one O(n + k) pass on the next read, so absorbing a batch
+  // of k new rows does not shift the main vector k times.
+  using Row = std::pair<NodeId, MembershipEntry>;
+
   explicit MembershipTable(sim::Duration tombstone_ttl = 30 * sim::kSecond)
       : tombstone_ttl_(tombstone_ttl) {}
   // Merge `data` into the directory. `liveness`/`relayed_by` describe how
@@ -51,17 +60,30 @@ class MembershipTable {
   // Refresh the last-heard stamp without touching contents.
   void touch(NodeId node, sim::Time now);
 
+  // Re-root a relayed entry's provenance at `relayed_by` and refresh its
+  // stamp: the new relay vouched (via an anti-entropy digest) that it holds
+  // this exact row, which is what absorbing a full re-announcement from it
+  // would record. No-op for direct or missing entries, or when the entry is
+  // the relay itself (a self-rooted relay would be a provenance cycle).
+  void reconfirm_relay(NodeId node, NodeId relayed_by, sim::Time now);
+
   // Downgrade a direct entry to relayed (the protocol no longer hears the
   // node itself; its liveness is now second-hand). No-op otherwise.
   void demote_to_relayed(NodeId node, NodeId relayed_by);
 
+  // Pointers returned by find()/lookup() stay valid until the next insert or
+  // erase (collect-then-consume within one handler is fine; holding one
+  // across a mutation is not — same contract callers already honor).
   const MembershipEntry* find(NodeId node) const;
-  bool contains(NodeId node) const { return entries_.contains(node); }
-  size_t size() const { return entries_.size(); }
+  bool contains(NodeId node) const;
+  size_t size() const { return entries_.size() + overlay_.size(); }
   std::vector<NodeId> node_ids() const;
 
   // All entries (sorted by node id, deterministic iteration).
-  const std::map<NodeId, MembershipEntry>& entries() const { return entries_; }
+  const std::vector<Row>& entries() const {
+    flush();
+    return entries_;
+  }
 
   // Service lookup: `service_regex` is matched against the full service
   // name; `partition_spec` ("*", "2", "1-3", "0,2") selects nodes hosting at
@@ -92,8 +114,16 @@ class MembershipTable {
 
   bool tombstoned(NodeId node, Incarnation incarnation, sim::Time now) const;
 
+  // Merge the pending overlay into the main vector. Every public read path
+  // flushes first, so exposed pointers/references always target entries_.
+  void flush() const;
+  // Internal lookup that may return a row still sitting in the overlay;
+  // never exposed to callers.
+  MembershipEntry* find_mutable(NodeId node);
+
   sim::Duration tombstone_ttl_;
-  std::map<NodeId, MembershipEntry> entries_;
+  mutable std::vector<Row> entries_;  // sorted by node id
+  mutable std::vector<Row> overlay_;  // sorted, keys disjoint from entries_
   std::map<NodeId, Tombstone> tombstones_;
 };
 

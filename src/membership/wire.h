@@ -20,6 +20,14 @@ namespace tamp::membership {
 
 class WireWriter {
  public:
+  WireWriter() = default;
+  // Start from recycled scratch (cleared here) so steady-state encoding
+  // reuses payload capacity instead of reallocating per message.
+  explicit WireWriter(std::vector<uint8_t> scratch)
+      : buffer_(std::move(scratch)) {
+    buffer_.clear();
+  }
+
   void u8(uint8_t v) { buffer_.push_back(v); }
   void u16(uint16_t v);
   void u32(uint32_t v);

@@ -1,0 +1,46 @@
+#include "net/buffer_pool.h"
+
+#include <utility>
+
+namespace tamp::net {
+
+namespace {
+
+// Deep enough to cover every in-flight payload of a busy sim tick; shallow
+// enough that an idle worker thread pins at most a few MB.
+constexpr size_t kMaxPooledBuffers = 256;
+
+std::vector<std::vector<uint8_t>>& freelist() {
+  thread_local std::vector<std::vector<uint8_t>> list;
+  return list;
+}
+
+}  // namespace
+
+std::vector<uint8_t> acquire_buffer() {
+  auto& list = freelist();
+  if (list.empty()) return {};
+  std::vector<uint8_t> buffer = std::move(list.back());
+  list.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void release_buffer(std::vector<uint8_t> buffer) {
+  if (buffer.capacity() == 0) return;
+  auto& list = freelist();
+  if (list.size() >= kMaxPooledBuffers) return;  // excess capacity is freed
+  list.push_back(std::move(buffer));
+}
+
+Payload make_pooled_payload(std::vector<uint8_t> bytes) {
+  auto* owned = new std::vector<uint8_t>(std::move(bytes));
+  return Payload(owned, [](const std::vector<uint8_t>* p) {
+    release_buffer(std::move(*const_cast<std::vector<uint8_t>*>(p)));
+    delete p;
+  });
+}
+
+size_t buffer_pool_depth() { return freelist().size(); }
+
+}  // namespace tamp::net

@@ -38,29 +38,20 @@ Network::TrafficCounters Network::resolve_counters(obs::NodeId node) {
   return c;
 }
 
-TrafficStats Network::counters_view(const TrafficCounters& counters) {
-  TrafficStats stats;
-  stats.tx_messages = counters.tx_messages->value;
-  stats.tx_wire_bytes = counters.tx_wire_bytes->value;
-  stats.rx_messages = counters.rx_messages->value;
-  stats.rx_wire_bytes = counters.rx_wire_bytes->value;
-  stats.rx_multicast_messages = counters.rx_multicast_messages->value;
-  stats.dropped_messages = counters.dropped_messages->value;
-  stats.tx_dropped_egress = counters.tx_dropped_egress->value;
-  return stats;
-}
-
 void Network::set_wire_classifier(WireClassifier classifier) {
   classifier_ = std::move(classifier);
   if (classifier_.kind_count == 0) classifier_.kind_count = 1;
   obs::MetricsRegistry& m = obs_.metrics;
   tx_kind_.clear();
+  tx_bytes_kind_.clear();
   egress_drop_kind_.clear();
   tx_down_kind_.clear();
   for (uint8_t kind = 0; kind < classifier_.kind_count; ++kind) {
     const std::string suffix =
         classifier_.name ? classifier_.name(kind) : "unknown";
     tx_kind_.push_back(m.counter(obs::Protocol::kNet, "tx_kind_" + suffix));
+    tx_bytes_kind_.push_back(
+        m.counter(obs::Protocol::kNet, "tx_bytes_kind_" + suffix));
     egress_drop_kind_.push_back(
         m.counter(obs::Protocol::kNet, "tx_egress_drop_kind_" + suffix));
     tx_down_kind_.push_back(
@@ -207,6 +198,7 @@ bool Network::send_unicast(HostId from, Address to, Payload payload) {
   total_.tx_messages->add();
   total_.tx_wire_bytes->add(wire);
   tx_kind_[kind]->add();
+  tx_bytes_kind_[kind]->add(wire);
 
   PathInfo path = topology_.path(from, to.host);
   if (!path.reachable) return true;  // sent into the void, UDP-style
@@ -249,10 +241,22 @@ bool Network::send_multicast(HostId from, ChannelId channel, uint8_t ttl,
   total_.tx_messages->add();
   total_.tx_wire_bytes->add(wire);
   tx_kind_[kind]->add();
+  tx_bytes_kind_[kind]->add(wire);
 
   const size_t fragments = fragments_for(payload ? payload->size() : 0);
   auto members = channel_members_.find(channel);
   if (members == channel_members_.end()) return true;
+
+  // Fan-out batching: receivers on identical paths (the common case — a
+  // whole rack behind one switch) land at the same delivery time, so their
+  // deliveries share one scheduled event instead of one closure per
+  // receiver. Loss/jitter/duplicate draws stay per-receiver in member
+  // order, exactly as an unbatched fan-out would draw them.
+  struct DeliveryGroup {
+    sim::Duration delay;
+    std::vector<Packet> packets;
+  };
+  std::vector<DeliveryGroup> groups;  // first-seen delay order
   for (HostId receiver : members->second) {
     if (receiver == from) continue;
     PathInfo path = topology_.path(from, receiver);
@@ -269,7 +273,51 @@ bool Network::send_multicast(HostId from, ChannelId channel, uint8_t ttl,
     packet.wire_bytes = wire;
     packet.sent_at = sim_.now();
 
-    dispatch(std::move(packet), path, fragments, egress_delay);
+    FaultInjector::Verdict verdict;
+    if (injector_ != nullptr) {
+      verdict = injector_->verdict(packet);
+    }
+    if (verdict.cut || !survives(path, fragments, verdict.extra_loss)) {
+      hosts_[receiver].counters.dropped_messages->add();
+      total_.dropped_messages->add();
+      continue;
+    }
+
+    sim::Duration base_delay =
+        config_.min_delivery_delay + path.latency + egress_delay;
+    if (path.min_bandwidth_bps > 0) {
+      base_delay += static_cast<sim::Duration>(
+          static_cast<double>(wire) * 8.0 / path.min_bandwidth_bps * 1e9);
+    }
+    base_delay += verdict.extra_delay;
+
+    const int copies = 1 + std::max(0, verdict.duplicates);
+    for (int copy = 0; copy < copies; ++copy) {
+      sim::Duration delay = base_delay;
+      if (verdict.jitter > 0) {
+        delay += static_cast<sim::Duration>(
+            sim_.rng().uniform_u64(static_cast<uint64_t>(verdict.jitter)));
+      }
+      DeliveryGroup* group = nullptr;
+      for (auto& g : groups) {
+        if (g.delay == delay) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        groups.push_back(DeliveryGroup{delay, {}});
+        group = &groups.back();
+      }
+      group->packets.push_back(packet);
+    }
+  }
+  for (auto& group : groups) {
+    auto batch = std::make_shared<std::vector<Packet>>(
+        std::move(group.packets));
+    sim_.schedule_after(group.delay, [this, batch] {
+      for (Packet& packet : *batch) deliver(std::move(packet));
+    });
   }
   return true;
 }
@@ -305,19 +353,6 @@ bool Network::host_up(HostId host) const {
   TAMP_CHECK(host < hosts_.size());
   return hosts_[host].up;
 }
-
-TrafficStats Network::stats(HostId host) const {
-  TAMP_CHECK(host < hosts_.size());
-  if (!obs_.metrics.enabled()) return TrafficStats{};
-  return counters_view(hosts_[host].counters);
-}
-
-TrafficStats Network::total_stats() const {
-  if (!obs_.metrics.enabled()) return TrafficStats{};
-  return counters_view(total_);
-}
-
-void Network::reset_stats() { obs_.metrics.reset(obs::Protocol::kNet); }
 
 void Network::deliver(Packet packet) {
   HostState& receiver = hosts_[packet.to.host];

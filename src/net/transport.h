@@ -63,27 +63,6 @@ class FaultInjector {
   virtual Verdict verdict(const Packet& packet) = 0;
 };
 
-// Cumulative traffic counters. `rx_*` count packets actually delivered to a
-// bound socket; `rx_wire_*` count traffic arriving at the NIC (including
-// packets for channels the host joined but with no socket bound — these
-// still consume link bandwidth, as in Figure 2's measurement).
-//
-// DEPRECATED view: the counters now live in the MetricsRegistry under
-// {obs::Protocol::kNet, <field name>, host}; Network::stats()/total_stats()
-// assemble this struct on demand for legacy callers. New code should query
-// net.obs().metrics directly.
-struct TrafficStats {
-  uint64_t tx_messages = 0;
-  uint64_t tx_wire_bytes = 0;
-  uint64_t rx_messages = 0;
-  uint64_t rx_wire_bytes = 0;
-  uint64_t rx_multicast_messages = 0;
-  uint64_t dropped_messages = 0;  // lost in flight towards this host
-  uint64_t tx_dropped_egress = 0;  // dropped at the sender's full NIC queue
-
-  void reset() { *this = TrafficStats(); }
-};
-
 // Attribution hook for per-wire-kind accounting: net/ cannot name the
 // membership layer's message types, so whoever owns both layers (Cluster,
 // MService) injects a payload classifier. Kind 0 is "unknown"; kinds must
@@ -153,11 +132,6 @@ class Network {
   // that produces the same kinds is a no-op in effect.
   void set_wire_classifier(WireClassifier classifier);
 
-  // --- accounting (deprecated views over the MetricsRegistry) ------------
-  TrafficStats stats(HostId host) const;
-  TrafficStats total_stats() const;
-  void reset_stats();
-
  private:
   // Cached registry handles for one accounting scope (a host, or the
   // network-wide totals under obs::kNoNode).
@@ -190,7 +164,6 @@ class Network {
   size_t wire_bytes_for(size_t payload_size) const;
   size_t fragments_for(size_t payload_size) const;
   TrafficCounters resolve_counters(obs::NodeId node);
-  static TrafficStats counters_view(const TrafficCounters& counters);
   uint8_t classify(const Payload& payload) const;
   // Applies path loss (per fragment) + configured extra loss + any
   // injector-imposed loss; true if delivered.
@@ -218,7 +191,11 @@ class Network {
   WireClassifier classifier_;
   // Per-kind totals, indexed by classifier kind (satellite attribution for
   // the egress capacity model: *what* was shed, not just how much).
+  // tx_bytes_kind_ decomposes tx_wire_bytes the way tx_kind_ decomposes
+  // tx_messages — named with a distinct prefix so counter_prefix_sum over
+  // "tx_kind_" keeps summing message counts only.
   std::vector<obs::Counter*> tx_kind_;
+  std::vector<obs::Counter*> tx_bytes_kind_;
   std::vector<obs::Counter*> egress_drop_kind_;
   std::vector<obs::Counter*> tx_down_kind_;
 };

@@ -10,9 +10,9 @@
 //  * Hot-path cost. Counters are resolved once into stable `Counter*`
 //    handles (a map lookup at construction, a single add on the data path);
 //    a disabled tracer costs one inline branch per potential event.
-//  * One schema. Metrics are keyed by {protocol, name, node}; the legacy
-//    per-component stat structs (`TrafficStats`, `HierStats`, `ProxyStats`)
-//    survive only as thin views computed from the registry.
+//  * One schema. Metrics are keyed by {protocol, name, node}; the registry
+//    is the only accounting surface (the legacy per-component stat structs
+//    — `TrafficStats`, `HierStats`, `ProxyStats` — are gone).
 #pragma once
 
 #include <cstdint>

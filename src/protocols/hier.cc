@@ -17,18 +17,41 @@ using membership::BootstrapResponseMsg;
 using membership::BusyKind;
 using membership::BusyMsg;
 using membership::CoordinatorMsg;
+using membership::DigestRowSummary;
 using membership::ElectionAnswerMsg;
 using membership::ElectionMsg;
 using membership::EntryData;
 using membership::HeartbeatMsg;
 using membership::Incarnation;
 using membership::Liveness;
+using membership::MembershipEntry;
 using membership::NodeId;
+using membership::RefreshDeltaMsg;
+using membership::RefreshDigestMsg;
+using membership::RefreshPullMsg;
 using membership::SyncRequestMsg;
 using membership::SyncResponseMsg;
 using membership::UpdateKind;
 using membership::UpdateMsg;
 using membership::UpdateRecord;
+
+namespace {
+
+sim::Duration configured_refresh_interval(const HierConfig& config) {
+  if (config.anti_entropy_mode == AntiEntropyMode::kDigest &&
+      config.digest_interval > 0) {
+    return config.digest_interval;
+  }
+  return config.refresh_interval;
+}
+
+size_t configured_digest_buckets(const HierConfig& config) {
+  const auto buckets = static_cast<size_t>(
+      config.digest_buckets > 0 ? config.digest_buckets : 1);
+  return std::min(buckets, membership::kMaxDigestBuckets);
+}
+
+}  // namespace
 
 HierDaemon::HierDaemon(sim::Simulation& sim, net::Network& net, NodeId self,
                        EntryData own, HierConfig config)
@@ -37,8 +60,9 @@ HierDaemon::HierDaemon(sim::Simulation& sim, net::Network& net, NodeId self,
       heartbeat_timer_(sim, config.period, [this] { heartbeat_tick(); }),
       scan_timer_(sim, config.scan_interval, [this] { scan_tick(); }),
       refresh_timer_(sim,
-                     config.refresh_interval > 0 ? config.refresh_interval
-                                                 : sim::kSecond,
+                     configured_refresh_interval(config) > 0
+                         ? configured_refresh_interval(config)
+                         : sim::kSecond,
                      [this] { refresh_tick(); }) {
   TAMP_CHECK(config_.max_ttl >= 1 && config_.max_ttl <= 250);
   table_ = membership::MembershipTable(config_.tombstone_ttl);
@@ -97,33 +121,15 @@ void HierDaemon::resolve_metrics() {
   metrics_.busy_sent = c("busy_sent");
   metrics_.busy_deferrals = c("busy_deferrals");
   metrics_.out_log_compacted = c("out_log_compacted");
+  metrics_.digests_sent = c("digests_sent");
+  metrics_.digest_pulls_sent = c("digest_pulls_sent");
+  metrics_.digest_pulls_served = c("digest_pulls_served");
+  metrics_.deltas_sent = c("deltas_sent");
+  metrics_.delta_rows_shipped = c("delta_rows_shipped");
+  metrics_.digest_rows_suppressed = c("digest_rows_suppressed");
+  metrics_.digest_full_fallbacks = c("digest_full_fallbacks");
   metrics_.image_serve_entries =
       m.histogram(obs::Protocol::kHier, "image_serve_entries", self_);
-}
-
-HierStats HierDaemon::stats() const {
-  HierStats s;
-  s.heartbeats_sent = metrics_.heartbeats_sent->value;
-  s.updates_sent = metrics_.updates_sent->value;
-  s.update_records_applied = metrics_.update_records_applied->value;
-  s.elections_started = metrics_.elections_started->value;
-  s.coordinators_sent = metrics_.coordinators_sent->value;
-  s.bootstraps_requested = metrics_.bootstraps_requested->value;
-  s.bootstraps_served = metrics_.bootstraps_served->value;
-  s.syncs_requested = metrics_.syncs_requested->value;
-  s.syncs_served = metrics_.syncs_served->value;
-  s.gaps_recovered_by_piggyback = metrics_.gaps_recovered_by_piggyback->value;
-  s.relayed_purges = metrics_.relayed_purges->value;
-  s.epochs_minted = metrics_.epochs_minted->value;
-  s.stale_epoch_rejects = metrics_.stale_epoch_rejects->value;
-  s.epochs_superseded = metrics_.epochs_superseded->value;
-  s.deaf_backlogs_dropped = metrics_.deaf_backlogs_dropped->value;
-  s.exchange_retries = metrics_.exchange_retries->value;
-  s.exchange_budget_exhausted = metrics_.exchange_budget_exhausted->value;
-  s.busy_sent = metrics_.busy_sent->value;
-  s.busy_deferrals = metrics_.busy_deferrals->value;
-  s.out_log_compacted = metrics_.out_log_compacted->value;
-  return s;
 }
 
 void HierDaemon::trace(obs::TraceKind kind, int level, uint64_t a,
@@ -169,7 +175,7 @@ void HierDaemon::start() {
             [this](const net::Packet& p) { on_control_packet(p); });
   heartbeat_timer_.start_with_random_phase();
   scan_timer_.start_with_random_phase();
-  if (config_.refresh_interval > 0) refresh_timer_.start_with_random_phase();
+  if (anti_entropy_interval() > 0) refresh_timer_.start_with_random_phase();
   join_level(0);
 }
 
@@ -318,11 +324,13 @@ void HierDaemon::heartbeat_tick() {
   // anti-entropy (refresh_tick): an entry nobody re-announces within the
   // refresh horizon is stale — drop it. This is what eventually clears
   // entries resurrected by packet reordering or late replays under loss.
+  // In digest mode the "re-announcement" is the digest/delta touch, so the
+  // horizon follows whichever anti-entropy interval is in effect.
+  const sim::Duration refresh = anti_entropy_interval();
   sim::Duration orphan_timeout = 2 * level_timeout(config_.max_ttl - 1);
-  if (config_.refresh_interval > 0) {
+  if (refresh > 0) {
     orphan_timeout = std::max(
-        orphan_timeout,
-        2 * config_.refresh_interval + level_timeout(config_.max_ttl - 1));
+        orphan_timeout, 2 * refresh + level_timeout(config_.max_ttl - 1));
   }
   auto expired = table_.expire(now, [&](const membership::MembershipEntry& e) {
     if (e.data.node == self_ || e.liveness != Liveness::kRelayed) {
@@ -483,6 +491,8 @@ void HierDaemon::on_data_packet(const net::Packet& packet) {
           on_election(level, msg);
         } else if constexpr (std::is_same_v<T, CoordinatorMsg>) {
           on_coordinator(level, msg);
+        } else if constexpr (std::is_same_v<T, RefreshDigestMsg>) {
+          on_refresh_digest(level, msg);
         }
       },
       *message);
@@ -597,6 +607,10 @@ void HierDaemon::on_control_packet(const net::Packet& packet) {
           }
         } else if constexpr (std::is_same_v<T, BusyMsg>) {
           on_busy(msg);
+        } else if constexpr (std::is_same_v<T, RefreshPullMsg>) {
+          on_refresh_pull(msg);
+        } else if constexpr (std::is_same_v<T, RefreshDeltaMsg>) {
+          on_refresh_delta(msg);
         }
       },
       *message);
@@ -1244,9 +1258,10 @@ void HierDaemon::clear_out_log(LevelState& ls) {
   ls.out_log_base = ls.out_seq;
 }
 
-void HierDaemon::send_state_refresh(int level, bool subtree_only) {
+std::vector<const MembershipEntry*> HierDaemon::refresh_scope(
+    int level, bool subtree_only) const {
   const LevelState& ls = *levels_[level];
-  std::vector<UpdateRecord> batch;
+  std::vector<const MembershipEntry*> rows;
   for (const auto& [id, entry] : table_.entries()) {
     if (subtree_only && id != self_) {
       // Upward refreshes announce only the subtree this node represents:
@@ -1259,9 +1274,220 @@ void HierDaemon::send_state_refresh(int level, bool subtree_only) {
         continue;
       }
     }
-    batch.push_back(make_join_record(entry.data));
+    rows.push_back(&entry);
+  }
+  return rows;
+}
+
+void HierDaemon::send_state_refresh(int level, bool subtree_only) {
+  std::vector<UpdateRecord> batch;
+  for (const MembershipEntry* row : refresh_scope(level, subtree_only)) {
+    batch.push_back(make_join_record(row->data));
   }
   emit_batch(level, batch);
+}
+
+// --- incremental anti-entropy (digest mode) ---------------------------------
+
+sim::Duration HierDaemon::anti_entropy_interval() const {
+  return configured_refresh_interval(config_);
+}
+
+void HierDaemon::send_refresh_digest(int level, bool subtree) {
+  LevelState& ls = level_state(level);
+  if (!ls.joined) return;
+  const auto rows = refresh_scope(level, subtree);
+  const size_t bucket_count = configured_digest_buckets(config_);
+  RefreshDigestMsg msg;
+  msg.origin = self_;
+  msg.origin_incarnation = own_.incarnation;
+  msg.level = static_cast<uint8_t>(level);
+  msg.epoch = ls.epoch;
+  msg.subtree = subtree;
+  msg.row_count = static_cast<uint32_t>(rows.size());
+  msg.buckets.assign(bucket_count, 0);
+  if (subtree) msg.subjects.reserve(rows.size());
+  for (const MembershipEntry* row : rows) {
+    const uint64_t hash = membership::digest_row_hash(row->data);
+    msg.view_hash ^= hash;
+    msg.buckets[membership::digest_bucket_of(row->data.node, bucket_count)] ^=
+        hash;
+    // Table iteration is id-ascending, which is exactly the order the
+    // delta-varint scope coding wants.
+    if (subtree) msg.subjects.push_back(row->data.node);
+  }
+  net_.send_multicast(self_, channel_of(level), ttl_of(level),
+                      config_.data_port, encode_message(msg));
+  metrics_.digests_sent->add();
+}
+
+std::vector<const MembershipEntry*> HierDaemon::digest_receiver_scope(
+    const RefreshDigestMsg& msg) const {
+  std::vector<const MembershipEntry*> rows;
+  if (msg.subtree) {
+    // The digest names its scope; hash our copies of exactly those rows.
+    // A listed row we don't hold leaves its hash out of our bucket — the
+    // mismatch is how the pull discovers it. Rows we hold that the origin
+    // stopped listing simply go unrefreshed and age into orphan expiry.
+    for (NodeId id : msg.subjects) {
+      const MembershipEntry* entry = table_.find(id);
+      if (entry != nullptr) rows.push_back(entry);
+    }
+    return rows;
+  }
+  for (const auto& [id, entry] : table_.entries()) {
+    rows.push_back(&entry);
+  }
+  return rows;
+}
+
+void HierDaemon::on_refresh_digest(int level, const RefreshDigestMsg& msg) {
+  LevelState& ls = level_state(level);
+  if (msg.origin == self_) return;
+  auto member = ls.members.find(msg.origin);
+  if (member != ls.members.end()) member->second.last_heard = sim_.now();
+  // Same stale-replay fence as update streams: a digest from a superseded
+  // leadership life describes a pre-re-election world; comparing against it
+  // (and worse, pulling rows from it) would resurrect that world.
+  if (fenced_stale(ls, msg.origin, msg.epoch, msg.origin_incarnation)) {
+    metrics_.stale_epoch_rejects->add();
+    return;
+  }
+  const size_t bucket_count = msg.buckets.size();
+  if (bucket_count == 0 || bucket_count > membership::kMaxDigestBuckets) {
+    return;
+  }
+
+  const auto rows = digest_receiver_scope(msg);
+  std::vector<uint64_t> buckets(bucket_count, 0);
+  for (const MembershipEntry* row : rows) {
+    buckets[membership::digest_bucket_of(row->data.node, bucket_count)] ^=
+        membership::digest_row_hash(row->data);
+  }
+  std::vector<bool> mismatched(bucket_count, false);
+  bool any_mismatch = false;
+  for (size_t b = 0; b < bucket_count; ++b) {
+    if (buckets[b] != msg.buckets[b]) {
+      mismatched[b] = true;
+      any_mismatch = true;
+    }
+  }
+
+  // Rows in agreeing buckets are still being announced by the origin:
+  // refresh them exactly as absorbing a full re-announcement would, minus
+  // the bytes — re-rooting their provenance at the origin, the relay that
+  // just vouched for them. Rows in mismatched buckets wait for the delta —
+  // the ones the origin stopped announcing must keep aging toward orphan
+  // expiry, or a lost LEAVE would never be repaired.
+  const sim::Time now = sim_.now();
+  for (const MembershipEntry* row : rows) {
+    const NodeId id = row->data.node;
+    if (id == self_ || row->liveness != Liveness::kRelayed) continue;
+    if (mismatched[membership::digest_bucket_of(id, bucket_count)]) continue;
+    table_.reconfirm_relay(id, msg.origin, now);
+  }
+  if (!any_mismatch) return;
+
+  RefreshPullMsg pull;
+  pull.requester = self_;
+  pull.level = static_cast<uint8_t>(level);
+  pull.epoch = ls.epoch;
+  pull.subtree = msg.subtree;
+  for (size_t b = 0; b < bucket_count; ++b) {
+    if (mismatched[b]) pull.bucket_indices.push_back(static_cast<uint16_t>(b));
+  }
+  for (const MembershipEntry* row : rows) {
+    if (!mismatched[membership::digest_bucket_of(row->data.node,
+                                                 bucket_count)]) {
+      continue;
+    }
+    pull.rows.push_back(DigestRowSummary{
+        row->data.node, row->data.incarnation,
+        membership::digest_row_hash(row->data)});
+  }
+  net_.send_unicast(self_, net::Address{msg.origin, config_.control_port},
+                    encode_message(pull));
+  metrics_.digest_pulls_sent->add();
+}
+
+void HierDaemon::on_refresh_pull(const RefreshPullMsg& msg) {
+  if (msg.requester == self_) return;
+  const int level =
+      msg.level < config_.max_ttl ? static_cast<int>(msg.level) : 0;
+  LevelState& ls = *levels_[level];
+  if (!ls.joined) return;
+  metrics_.digest_pulls_served->add();
+
+  // Bucket geometry is ours (the pull answers our digest); indices outside
+  // it are from a digest we did not send this configuration for — ignore
+  // them rather than guess.
+  const size_t bucket_count = configured_digest_buckets(config_);
+  std::vector<bool> wanted(bucket_count, false);
+  for (uint16_t b : msg.bucket_indices) {
+    if (b < bucket_count) wanted[b] = true;
+  }
+  std::map<NodeId, const DigestRowSummary*> theirs;
+  for (const auto& row : msg.rows) theirs[row.subject] = &row;
+
+  RefreshDeltaMsg delta;
+  delta.responder = self_;
+  delta.responder_incarnation = own_.incarnation;
+  delta.level = msg.level;
+  delta.epoch = ls.epoch;
+  const size_t cap = config_.digest_max_rows_per_delta > 0
+                         ? static_cast<size_t>(config_.digest_max_rows_per_delta)
+                         : table_.size();
+  for (const MembershipEntry* row : refresh_scope(level, msg.subtree)) {
+    if (!wanted[membership::digest_bucket_of(row->data.node, bucket_count)]) {
+      continue;
+    }
+    auto it = theirs.find(row->data.node);
+    if (it != theirs.end() &&
+        it->second->row_hash == membership::digest_row_hash(row->data)) {
+      delta.confirmed.push_back(row->data.node);
+      continue;
+    }
+    if (delta.entries.size() >= cap) {
+      // Divergence beyond the delta budget: stop here and let the requester
+      // escalate to the full-image path (which admission control guards).
+      delta.truncated = true;
+      break;
+    }
+    delta.entries.push_back(row->data);
+  }
+  // Rows the requester listed that we do not hold in scope are deliberately
+  // neither shipped nor confirmed: unrefreshed, they age into orphan expiry
+  // at the requester — the digest-mode form of lost-LEAVE repair.
+  metrics_.delta_rows_shipped->add(delta.entries.size());
+  metrics_.digest_rows_suppressed->add(delta.confirmed.size());
+  metrics_.deltas_sent->add();
+  net_.send_unicast(self_, net::Address{msg.requester, config_.control_port},
+                    encode_message(delta));
+}
+
+void HierDaemon::on_refresh_delta(const RefreshDeltaMsg& msg) {
+  if (msg.responder == self_) return;
+  const int level =
+      msg.level < config_.max_ttl ? static_cast<int>(msg.level) : 0;
+  LevelState& ls = *levels_[level];
+  if (!ls.joined) return;
+  if (fenced_stale(ls, msg.responder, msg.epoch, msg.responder_incarnation)) {
+    metrics_.stale_epoch_rejects->add();
+    return;
+  }
+  absorb_entries(msg.entries, msg.responder, level);
+  const sim::Time now = sim_.now();
+  for (NodeId id : msg.confirmed) {
+    if (id == self_) continue;
+    table_.reconfirm_relay(id, msg.responder, now);
+  }
+  if (msg.truncated) {
+    // The backstop demotion: only a delta that could not carry the whole
+    // divergence escalates to an O(N) image, and that path sits behind the
+    // responder's image_serve_budget like any other full-image exchange.
+    metrics_.digest_full_fallbacks->add();
+    request_sync(level, msg.responder, 0);
+  }
 }
 
 // --- bootstrap / sync -------------------------------------------------------
@@ -1535,15 +1761,26 @@ void HierDaemon::absorb_entries(const std::vector<EntryData>& entries,
 }
 
 void HierDaemon::refresh_tick() {
+  const bool digest = config_.anti_entropy_mode == AntiEntropyMode::kDigest;
   for (int l = 0; l < config_.max_ttl; ++l) {
     if (!levels_[l]->joined || !levels_[l]->i_am_leader) continue;
     // Anti-entropy into the group this node leads, and upward into the
     // parent group it represents that subtree in: every relayed entry in
     // the cluster is re-announced along its chain once per interval, so
-    // freshness genuinely means "still being relayed".
-    send_state_refresh(l);
-    if (l + 1 < config_.max_ttl && levels_[l + 1]->joined) {
-      send_state_refresh(l + 1, /*subtree_only=*/true);
+    // freshness genuinely means "still being relayed". Digest mode ships a
+    // summary instead of the rows; event-driven re-seeds elsewhere
+    // (become_leader, repel_stale_claim) stay on the full path, where the
+    // receivers provably need the whole image.
+    if (digest) {
+      send_refresh_digest(l, /*subtree=*/false);
+      if (l + 1 < config_.max_ttl && levels_[l + 1]->joined) {
+        send_refresh_digest(l + 1, /*subtree=*/true);
+      }
+    } else {
+      send_state_refresh(l);
+      if (l + 1 < config_.max_ttl && levels_[l + 1]->joined) {
+        send_state_refresh(l + 1, /*subtree_only=*/true);
+      }
     }
   }
 }

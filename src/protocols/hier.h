@@ -54,6 +54,12 @@
 
 namespace tamp::protocols {
 
+// How leaders run their periodic anti-entropy refresh. kFull re-multicasts
+// the whole view as join records (the original behavior); kDigest sends a
+// compact bucketed summary first and ships only rows receivers actually
+// disagree on, demoting the full-image path to a truncation backstop.
+enum class AntiEntropyMode : uint8_t { kFull = 0, kDigest = 1 };
+
 struct HierConfig {
   net::ChannelId base_channel = kBaseChannel;
   // "For maximum control flexibility, our implementation also allows
@@ -93,39 +99,26 @@ struct HierConfig {
   // partition cannot turn a leader into an O(joiners) response burst.
   // 0 = unlimited.
   size_t image_serve_budget = 8;
+  // Incremental anti-entropy (see AntiEntropyMode). Event-driven re-seeds
+  // (become_leader, repelled stale claims) always use the full path — only
+  // the periodic refresh_tick switches on the mode.
+  AntiEntropyMode anti_entropy_mode = AntiEntropyMode::kFull;
+  // Period of the digest exchange; 0 means "same as refresh_interval".
+  // Digest rounds are cheap enough to run more often than full refreshes —
+  // the orphan-expiry horizon follows whichever interval is in effect.
+  sim::Duration digest_interval = 0;
+  // Divergent rows one RefreshDeltaMsg may carry. A delta clipped at this
+  // cap is marked truncated and the receiver escalates to the full-image
+  // sync path (which sits behind image_serve_budget).
+  int digest_max_rows_per_delta = 64;
+  // Buckets per digest; mismatches are repaired per-bucket, so more buckets
+  // localize divergence better at ~8 bytes each on the wire.
+  int digest_buckets = 16;
 };
 
-// DEPRECATED view: the counters now live in the MetricsRegistry under
-// {obs::Protocol::kHier, <field name>, self}; HierDaemon::stats() assembles
-// this struct on demand for legacy callers. New code should query
-// net.obs().metrics directly.
-struct HierStats {
-  uint64_t heartbeats_sent = 0;
-  uint64_t updates_sent = 0;
-  uint64_t update_records_applied = 0;
-  uint64_t elections_started = 0;
-  uint64_t coordinators_sent = 0;
-  uint64_t bootstraps_requested = 0;
-  uint64_t bootstraps_served = 0;
-  uint64_t syncs_requested = 0;
-  uint64_t syncs_served = 0;
-  uint64_t gaps_recovered_by_piggyback = 0;
-  uint64_t relayed_purges = 0;  // entries dropped because their relay died
-  uint64_t epochs_minted = 0;   // leaderships taken (become_leader calls)
-  // Messages/claims dropped for bearing a superseded leadership epoch, plus
-  // leaderships yielded on learning of a newer epoch.
-  uint64_t stale_epoch_rejects = 0;
-  uint64_t epochs_superseded = 0;
-  // Out-logs discarded after a deafness gap (no packets on a joined channel
-  // for longer than its own failure timeout) instead of being replayed.
-  uint64_t deaf_backlogs_dropped = 0;
-  // Overload-resilient recovery paths.
-  uint64_t exchange_retries = 0;  // solicited polls resent on timeout
-  uint64_t exchange_budget_exhausted = 0;  // exchanges that gave up retrying
-  uint64_t busy_sent = 0;       // image serves refused by admission control
-  uint64_t busy_deferrals = 0;  // Busy pushbacks honored as a requester
-  uint64_t out_log_compacted = 0;  // shadowed out-log records coalesced away
-};
+// Per-daemon counters live in the MetricsRegistry under
+// {obs::Protocol::kHier, <name>, self}; query net.obs().metrics directly
+// (the one-field-per-counter HierStats view is gone).
 
 class HierDaemon : public MembershipDaemon {
  public:
@@ -147,9 +140,6 @@ class HierDaemon : public MembershipDaemon {
   // In-flight solicited exchange slots (bootstrap + sync, exhausted ones
   // included) tracked at `level` — bounded by the group size + 1.
   size_t pending_exchanges(int level) const;
-  // Deprecated registry view (see HierStats). Returns by value; binding to
-  // a const reference at call sites still works via lifetime extension.
-  HierStats stats() const;
   const HierConfig& config() const { return config_; }
   // Highest leadership epoch this node knows for `level` (its own minted
   // epoch while it leads). Persists across joins/leaves of the level —
@@ -339,6 +329,26 @@ class HierDaemon : public MembershipDaemon {
   void emit_batch(int level,
                   const std::vector<membership::UpdateRecord>& batch);
   void send_state_refresh(int level, bool subtree_only = false);
+
+  // --- incremental anti-entropy (digest mode) -----------------------------
+  // The interval the periodic refresh (and the orphan-expiry horizon)
+  // actually runs at: digest_interval in digest mode when set, else
+  // refresh_interval. 0 disables the periodic refresh entirely.
+  sim::Duration anti_entropy_interval() const;
+  // The rows a refresh of `level` covers — the same scope full refresh
+  // ships: the whole view downward, the represented subtree upward.
+  std::vector<const membership::MembershipEntry*> refresh_scope(
+      int level, bool subtree_only) const;
+  // Scope a digest *receiver* compares against. Downward digests cover the
+  // origin's whole view (≈ ours, in steady state); upward subtree digests
+  // are approximated as {origin} ∪ {rows relayed by origin} — a mismatch in
+  // the approximation degrades to a cheap pull, never to wrong state.
+  std::vector<const membership::MembershipEntry*> digest_receiver_scope(
+      const membership::RefreshDigestMsg& msg) const;
+  void send_refresh_digest(int level, bool subtree);
+  void on_refresh_digest(int level, const membership::RefreshDigestMsg& msg);
+  void on_refresh_pull(const membership::RefreshPullMsg& msg);
+  void on_refresh_delta(const membership::RefreshDeltaMsg& msg);
   membership::UpdateRecord make_join_record(const membership::EntryData& entry);
   membership::UpdateRecord make_leave_record(membership::NodeId subject,
                                              membership::Incarnation inc);
@@ -405,6 +415,16 @@ class HierDaemon : public MembershipDaemon {
     obs::Counter* busy_sent = nullptr;
     obs::Counter* busy_deferrals = nullptr;
     obs::Counter* out_log_compacted = nullptr;
+    // Digest anti-entropy. Sends (digests_sent / digest_pulls_sent /
+    // deltas_sent) each have exactly one send site, so the chaos runner's
+    // conservation identities can tie them to per-wire-kind tx counters.
+    obs::Counter* digests_sent = nullptr;
+    obs::Counter* digest_pulls_sent = nullptr;
+    obs::Counter* digest_pulls_served = nullptr;
+    obs::Counter* deltas_sent = nullptr;
+    obs::Counter* delta_rows_shipped = nullptr;      // divergent rows shipped
+    obs::Counter* digest_rows_suppressed = nullptr;  // agreeing rows confirmed
+    obs::Counter* digest_full_fallbacks = nullptr;   // truncated → image sync
     obs::Histogram* image_serve_entries = nullptr;
   };
   void resolve_metrics();

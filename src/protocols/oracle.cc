@@ -450,10 +450,15 @@ void MembershipOracle::check_solicited_rate() {
   for (size_t i = 0; i < cluster_.size(); ++i) {
     HierDaemon* daemon = cluster_.hier_daemon(i);
     if (daemon == nullptr) continue;
-    const HierStats& stats = daemon->stats();
-    const uint64_t served = stats.bootstraps_served + stats.syncs_served;
+    const obs::MetricsRegistry& metrics = net_.obs().metrics;
+    const membership::NodeId host = cluster_.hosts()[i];
+    auto hier = [&](std::string_view name) {
+      return metrics.counter_value(obs::Protocol::kHier, name, host);
+    };
+    const uint64_t served =
+        hier("bootstraps_served") + hier("syncs_served");
     const uint64_t requested =
-        stats.bootstraps_requested + stats.syncs_requested;
+        hier("bootstraps_requested") + hier("syncs_requested");
     const bool reset =
         served < last_served_[i] || requested < last_requested_[i];
     const uint64_t served_delta = reset ? 0 : served - last_served_[i];

@@ -39,16 +39,6 @@ void ProxyDaemon::resolve_metrics() {
   metrics_.is_leader = m.gauge(obs::Protocol::kProxy, "is_leader", node);
 }
 
-ProxyStats ProxyDaemon::stats() const {
-  ProxyStats s;
-  s.wan_heartbeats_sent = metrics_.wan_heartbeats_sent->value;
-  s.wan_updates_sent = metrics_.wan_updates_sent->value;
-  s.wan_messages_received = metrics_.wan_messages_received->value;
-  s.vip_takeovers = metrics_.vip_takeovers->value;
-  s.relays_to_local_group = metrics_.relays_to_local_group->value;
-  return s;
-}
-
 void ProxyDaemon::start() {
   if (running_) return;
   running_ = true;

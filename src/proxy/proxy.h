@@ -49,18 +49,6 @@ struct ProxyConfig {
   net::Port relay_port = protocols::kProxyWanPort + 1;  // local relay channel
 };
 
-// DEPRECATED view: the counters live in the MetricsRegistry under
-// {obs::Protocol::kProxy, <field name>, self}; ProxyDaemon::stats()
-// assembles this struct on demand. New code should query
-// net.obs().metrics directly.
-struct ProxyStats {
-  uint64_t wan_heartbeats_sent = 0;
-  uint64_t wan_updates_sent = 0;
-  uint64_t wan_messages_received = 0;
-  uint64_t vip_takeovers = 0;
-  uint64_t relays_to_local_group = 0;
-};
-
 // Knowledge about one remote datacenter.
 struct RemoteDirectory {
   membership::ServiceSummary summary;
@@ -85,9 +73,6 @@ class ProxyDaemon {
 
   membership::NodeId self() const { return membership_.self(); }
   const ProxyConfig& config() const { return config_; }
-  // Deprecated registry view, returned by value (binding it to a const
-  // reference at a call site still works via lifetime extension).
-  ProxyStats stats() const;
 
   // True when this proxy currently believes it is the datacenter's proxy
   // leader (and therefore holds the VIP).
@@ -123,8 +108,7 @@ class ProxyDaemon {
   void expire_remotes();
   void resolve_metrics();
 
-  // Registry handles under (obs::Protocol::kProxy, <name>, self). Field
-  // names mirror the deprecated ProxyStats view exactly.
+  // Registry handles under (obs::Protocol::kProxy, <name>, self).
   struct Metrics {
     obs::Counter* wan_heartbeats_sent = nullptr;
     obs::Counter* wan_updates_sent = nullptr;

@@ -1,5 +1,7 @@
 #include "service/messages.h"
 
+#include "net/buffer_pool.h"
+
 namespace tamp::service {
 
 using membership::WireReader;
@@ -58,11 +60,11 @@ struct Encoder {
 }  // namespace
 
 net::Payload encode_service_message(const ServiceMessage& message) {
-  WireWriter w;
+  WireWriter w(net::acquire_buffer());
   Encoder encoder{w};
   std::visit(encoder, message);
   if (encoder.pad > 0) w.pad_to(w.size() + encoder.pad);
-  return net::make_payload(w.take());
+  return net::make_pooled_payload(w.take());
 }
 
 std::optional<ServiceMessage> decode_service_message(const uint8_t* data,

@@ -40,18 +40,22 @@ bool plan_applicable(Scheme scheme, PlanKind plan) {
 }
 
 std::string scenario_name(const ScenarioSpec& spec) {
-  return std::string(protocols::scheme_name(spec.scheme)) + "/" +
-         shape_name(spec.shape) + "/" + plan_name(spec.plan) + "/s" +
-         std::to_string(spec.seed);
+  std::string name = std::string(protocols::scheme_name(spec.scheme)) + "/" +
+                     shape_name(spec.shape) + "/" + plan_name(spec.plan) +
+                     "/s" + std::to_string(spec.seed);
+  if (spec.hier_digest) name += "/digest";
+  return name;
 }
 
 std::string repro_command(const ScenarioSpec& spec) {
-  return std::string("bench/chaos_soak --scheme=") +
-         protocols::scheme_name(spec.scheme) +
-         " --shape=" + shape_name(spec.shape) +
-         " --plan=" + plan_name(spec.plan) +
-         " --seed=" + std::to_string(spec.seed) +
-         " --nodes=" + std::to_string(spec.nodes);
+  std::string cmd = std::string("bench/chaos_soak --scheme=") +
+                    protocols::scheme_name(spec.scheme) +
+                    " --shape=" + shape_name(spec.shape) +
+                    " --plan=" + plan_name(spec.plan) +
+                    " --seed=" + std::to_string(spec.seed) +
+                    " --nodes=" + std::to_string(spec.nodes);
+  if (spec.hier_digest) cmd += " --hier-anti-entropy=digest";
+  return cmd;
 }
 
 bool parse_scheme(const std::string& token, Scheme* out) {
@@ -199,6 +203,9 @@ class ScenarioRunner {
     // Faster anti-entropy keeps the post-fault repair horizon (and thus the
     // whole matrix's wall time) short without changing the protocol.
     opts.hier.refresh_interval = 10 * sim::kSecond;
+    if (spec_.hier_digest) {
+      opts.hier.anti_entropy_mode = protocols::AntiEntropyMode::kDigest;
+    }
     cluster_ = std::make_unique<protocols::Cluster>(sim_, *net_,
                                                     layout_.hosts, opts);
 
@@ -283,6 +290,14 @@ class ScenarioRunner {
     if (tx_total != tx_kinds) {
       fail("per-kind tx != tx_messages total", tx_kinds, tx_total);
     }
+    const uint64_t tx_bytes_total =
+        m.counter_value(obs::Protocol::kNet, "tx_wire_bytes", obs::kNoNode);
+    const uint64_t tx_bytes_kinds =
+        m.counter_prefix_sum(obs::Protocol::kNet, "tx_bytes_kind_");
+    if (tx_bytes_total != tx_bytes_kinds) {
+      fail("per-kind tx bytes != tx_wire_bytes total", tx_bytes_kinds,
+           tx_bytes_total);
+    }
     const uint64_t shed_total = m.counter_value(
         obs::Protocol::kNet, "tx_dropped_egress", obs::kNoNode);
     const uint64_t shed_kinds =
@@ -315,6 +330,9 @@ class ScenarioRunner {
                  "bootstrap_request");
         identity(obs::Protocol::kHier, "syncs_requested", "sync_request");
         identity(obs::Protocol::kHier, "busy_sent", "busy");
+        identity(obs::Protocol::kHier, "digests_sent", "refresh_digest");
+        identity(obs::Protocol::kHier, "digest_pulls_sent", "refresh_pull");
+        identity(obs::Protocol::kHier, "deltas_sent", "refresh_delta");
         break;
       case Scheme::kGossip:
         identity(obs::Protocol::kGossip, "gossips_sent", "gossip");
@@ -562,6 +580,28 @@ std::vector<ScenarioSpec> full_matrix(const MatrixOptions& options) {
           spec.metrics = options.metrics;
           specs.push_back(spec);
         }
+      }
+    }
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> digest_matrix(const MatrixOptions& options) {
+  std::vector<ScenarioSpec> specs;
+  for (ShapeKind shape : kAllShapeKinds) {
+    for (PlanKind plan : kAllPlanKinds) {
+      if (!plan_applicable(Scheme::kHierarchical, plan)) continue;
+      for (uint64_t s = 0; s < options.seed_count; ++s) {
+        ScenarioSpec spec;
+        spec.scheme = Scheme::kHierarchical;
+        spec.shape = shape;
+        spec.plan = plan;
+        spec.seed = options.first_seed + s;
+        spec.nodes = options.nodes;
+        spec.trace = options.trace;
+        spec.metrics = options.metrics;
+        spec.hier_digest = true;
+        specs.push_back(spec);
       }
     }
   }

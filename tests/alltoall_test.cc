@@ -97,9 +97,10 @@ TEST_F(AllToAllFixture, TrafficGrowsQuadratically) {
     Cluster cluster(local_sim, net, layout.hosts, options());
     cluster.start_all();
     local_sim.run_until(5 * sim::kSecond);
-    net.reset_stats();
+    net.obs().metrics.reset(obs::Protocol::kNet);
     local_sim.run_until(15 * sim::kSecond);
-    return net.total_stats().rx_wire_bytes;
+    return net.obs().metrics.counter_value(obs::Protocol::kNet,
+                                           "rx_wire_bytes");
   };
   uint64_t at10 = measure(10);
   uint64_t at20 = measure(20);

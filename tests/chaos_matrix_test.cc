@@ -43,5 +43,11 @@ TEST_P(ChaosMatrix, InvariantsHoldUnderFaults) {
 INSTANTIATE_TEST_SUITE_P(Sweep, ChaosMatrix, ::testing::ValuesIn(matrix()),
                          param_name);
 
+// The digest slice: the hier rows of the same grid, re-run with incremental
+// digest anti-entropy. The digest path must survive exactly the fault plans
+// the full-image path does.
+INSTANTIATE_TEST_SUITE_P(DigestSweep, ChaosMatrix,
+                         ::testing::ValuesIn(digest_matrix()), param_name);
+
 }  // namespace
 }  // namespace tamp::chaos

@@ -108,7 +108,8 @@ TEST(FaultInjection, NoopInjectorPreservesDeterminism) {
     cluster.start_all();
     sim.run_until(12 * sim::kSecond);
     return std::make_pair(sim.events_executed(),
-                          net.total_stats().dropped_messages);
+                          net.obs().metrics.counter_value(
+                              obs::Protocol::kNet, "dropped_messages"));
   };
   EXPECT_EQ(run(false), run(true));
 }

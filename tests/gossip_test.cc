@@ -102,12 +102,14 @@ TEST_F(GossipFixture, GossipMessagesCarryFullView) {
   Cluster cluster(sim, net, layout.hosts, options());
   cluster.start_all();
   sim.run_until(20 * sim::kSecond);
-  net.reset_stats();
+  net.obs().metrics.reset(obs::Protocol::kNet);
   sim.run_until(30 * sim::kSecond);
   // Aggregate bytes per second ~ n * (n * entry_size): with n=24 and ~230 B
   // entries each message is ~5.5 KB; 24 msg/s -> ~130 KB/s.
   double bytes_per_sec =
-      static_cast<double>(net.total_stats().rx_wire_bytes) / 10.0;
+      static_cast<double>(net.obs().metrics.counter_value(
+          obs::Protocol::kNet, "rx_wire_bytes")) /
+      10.0;
   EXPECT_GT(bytes_per_sec, 80e3);
   EXPECT_LT(bytes_per_sec, 250e3);
 }

@@ -40,6 +40,11 @@ struct RobustnessFixture : public ::testing::Test {
     return static_cast<size_t>(it - layout.hosts.begin());
   }
 
+  uint64_t hier_counter(const HierDaemon* d, std::string_view name) {
+    return net->obs().metrics.counter_value(obs::Protocol::kHier, name,
+                                            d->self());
+  }
+
   HierDaemon* rack_leader(int rack) {
     for (net::HostId h : layout.racks[static_cast<size_t>(rack)]) {
       auto* d = static_cast<HierDaemon*>(cluster->daemon_for(h));
@@ -109,8 +114,8 @@ TEST_F(RobustnessFixture, BootstrapRequestLostIsRetriedWithinBudget) {
   auto* daemon = static_cast<HierDaemon*>(cluster->daemon_for(revenant));
   EXPECT_EQ(daemon->view_size(), cluster->size())
       << "joiner never recovered the full image";
-  EXPECT_GE(daemon->stats().exchange_retries, 1u);
-  EXPECT_GE(daemon->stats().bootstraps_requested, 2u);
+  EXPECT_GE(hier_counter(daemon, "exchange_retries"), 1u);
+  EXPECT_GE(hier_counter(daemon, "bootstraps_requested"), 2u);
 }
 
 // Same discipline on the reply path: the server's BootstrapResponse
@@ -137,7 +142,7 @@ TEST_F(RobustnessFixture, BootstrapResponseLostIsRetriedWithinBudget) {
       << cluster->converged_count() << "/" << cluster->size();
   auto* daemon = static_cast<HierDaemon*>(cluster->daemon_for(revenant));
   EXPECT_EQ(daemon->view_size(), cluster->size());
-  EXPECT_GE(daemon->stats().exchange_retries, 1u);
+  EXPECT_GE(hier_counter(daemon, "exchange_retries"), 1u);
 }
 
 // The gap-recovery sync poll gets the same treatment: if the one
@@ -168,7 +173,7 @@ TEST_F(RobustnessFixture, SyncRequestLostIsRetriedWithinBudget) {
   uint64_t retries = 0;
   for (size_t i = 0; i < cluster->size(); ++i) {
     auto* d = cluster->hier_daemon(i);
-    if (d->running()) retries += d->stats().exchange_retries;
+    if (d->running()) retries += hier_counter(d, "exchange_retries");
   }
   EXPECT_GE(retries, 1u);
 }
@@ -197,7 +202,7 @@ TEST_F(RobustnessFixture, SyncResponseLostIsRetriedWithinBudget) {
   uint64_t retries = 0;
   for (size_t i = 0; i < cluster->size(); ++i) {
     auto* d = cluster->hier_daemon(i);
-    if (d->running()) retries += d->stats().exchange_retries;
+    if (d->running()) retries += hier_counter(d, "exchange_retries");
   }
   EXPECT_GE(retries, 1u);
 }
@@ -286,7 +291,7 @@ TEST_F(RobustnessFixture, HeartbeatAdvertisedGapTriggersSyncRecovery) {
   uint64_t syncs = 0;
   for (size_t i = 0; i < cluster->size(); ++i) {
     auto* d = cluster->hier_daemon(i);
-    if (d->running()) syncs += d->stats().syncs_requested;
+    if (d->running()) syncs += hier_counter(d, "syncs_requested");
   }
   EXPECT_GT(syncs, 0u);
 }
@@ -399,6 +404,60 @@ TEST(PauseAcrossElection, StaleLeaderReplayIsFencedOnEveryShape) {
   }
 }
 
+// The digest redesign's equivalence contract: for the same seed and fault
+// schedule, digest-mode anti-entropy must converge every node to exactly
+// the table full-mode converges it to — same members, same incarnations,
+// same replicated entry content. (Timestamps and provenance are local soft
+// state and deliberately out of scope.)
+TEST(FullVsDigest, ConvergeToIdenticalTablesPerSeed) {
+  auto run = [](AntiEntropyMode mode) {
+    sim::Simulation sim(4242);
+    net::Topology topo;
+    net::RackedClusterParams params;
+    params.racks = 3;
+    params.hosts_per_rack = 6;
+    auto layout = net::build_racked_cluster(topo, params);
+    net::Network net(sim, topo);
+    Cluster::Options opts;
+    opts.scheme = Scheme::kHierarchical;
+    opts.hier.refresh_interval = 10 * sim::kSecond;
+    opts.hier.anti_entropy_mode = mode;
+    Cluster cluster(sim, net, layout.hosts, opts);
+    cluster.start_all();
+    sim.run_until(15 * sim::kSecond);
+    // Churn that exercises the anti-entropy paths: a member dies and
+    // returns with a new incarnation, then a (likely) leader dies for good.
+    cluster.kill(4);
+    sim.run_until(sim.now() + 20 * sim::kSecond);
+    cluster.restart(4);
+    sim.run_until(sim.now() + 20 * sim::kSecond);
+    cluster.kill(12);
+    sim.run_until(sim.now() + 40 * sim::kSecond);
+    EXPECT_TRUE(cluster.converged());
+
+    std::vector<std::map<membership::NodeId, membership::EntryData>> tables;
+    for (net::HostId host : layout.hosts) {
+      auto* d = static_cast<HierDaemon*>(cluster.daemon_for(host));
+      std::map<membership::NodeId, membership::EntryData> view;
+      if (d != nullptr && d->running()) {
+        for (const auto& [id, entry] : d->table().entries()) {
+          view[id] = entry.data;
+        }
+      }
+      tables.push_back(std::move(view));
+    }
+    return tables;
+  };
+
+  const auto full = run(AntiEntropyMode::kFull);
+  const auto digest = run(AntiEntropyMode::kDigest);
+  ASSERT_EQ(full.size(), digest.size());
+  for (size_t i = 0; i < full.size(); ++i) {
+    EXPECT_EQ(full[i], digest[i]) << "node index " << i
+                                  << " diverged between anti-entropy modes";
+  }
+}
+
 // Deterministic replay: identical seeds give identical event counts and
 // final state; different seeds differ in timing but agree on convergence.
 TEST_F(RobustnessFixture, DeterministicReplay) {
@@ -416,8 +475,10 @@ TEST_F(RobustnessFixture, DeterministicReplay) {
     cluster.start_all();
     cluster.kill(7);
     sim.run_until(40 * sim::kSecond);
-    return std::pair<uint64_t, uint64_t>(sim.events_executed(),
-                                         net.total_stats().rx_wire_bytes);
+    return std::pair<uint64_t, uint64_t>(
+        sim.events_executed(),
+        net.obs().metrics.counter_value(obs::Protocol::kNet,
+                                        "rx_wire_bytes"));
   };
   EXPECT_EQ(run(1234), run(1234));
   EXPECT_NE(run(1234), run(1235));

@@ -335,13 +335,15 @@ TEST_F(HierFixture, HeartbeatTrafficStaysLocal) {
   cluster.start_all();
   sim.run_until(15 * sim::kSecond);
   ASSERT_TRUE(cluster.converged());
-  net.reset_stats();
+  net.obs().metrics.reset(obs::Protocol::kNet);
   sim.run_until(25 * sim::kSecond);
 
   // Per node per second: ~19 intra-rack heartbeats + a few level-1 packets.
   // The all-to-all equivalent would be 99 packets per node per second.
-  double per_node_per_sec = static_cast<double>(net.total_stats().rx_messages) /
-                            10.0 / static_cast<double>(layout.hosts.size());
+  double per_node_per_sec =
+      static_cast<double>(net.obs().metrics.counter_value(
+          obs::Protocol::kNet, "rx_messages")) /
+      10.0 / static_cast<double>(layout.hosts.size());
   EXPECT_LT(per_node_per_sec, 30.0);
   EXPECT_GT(per_node_per_sec, 15.0);
 }
@@ -435,16 +437,15 @@ TEST_F(HierFixture, StatsCountersMove) {
   cluster.start_all();
   sim.run_until(15 * sim::kSecond);
 
-  uint64_t elections = 0, heartbeats = 0, bootstraps = 0;
-  for (size_t i = 0; i < cluster.size(); ++i) {
-    const auto& s = cluster.hier_daemon(i)->stats();
-    elections += s.elections_started;
-    heartbeats += s.heartbeats_sent;
-    bootstraps += s.bootstraps_requested;
-  }
-  EXPECT_GT(elections, 0u);
-  EXPECT_GT(heartbeats, 8u * 10u);
-  EXPECT_GT(bootstraps, 0u);
+  const obs::MetricsRegistry& m = net.obs().metrics;
+  EXPECT_GT(m.counter_sum_over_nodes(obs::Protocol::kHier,
+                                     "elections_started"),
+            0u);
+  EXPECT_GT(m.counter_sum_over_nodes(obs::Protocol::kHier, "heartbeats_sent"),
+            8u * 10u);
+  EXPECT_GT(m.counter_sum_over_nodes(obs::Protocol::kHier,
+                                     "bootstraps_requested"),
+            0u);
 }
 
 }  // namespace

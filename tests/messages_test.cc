@@ -260,6 +260,125 @@ TEST(Messages, ProxySummaryMuchSmallerThanFullEntries) {
   EXPECT_LT(summary_payload->size() * 50, full_payload->size());
 }
 
+TEST(Messages, RefreshDigestRoundTrip) {
+  RefreshDigestMsg msg;
+  msg.origin = 40;
+  msg.origin_incarnation = 3;
+  msg.level = 2;
+  msg.epoch = 19;
+  msg.subtree = true;
+  msg.view_hash = 0xdeadbeefcafef00dULL;
+  msg.buckets = {1, 0, 0xffffffffffffffffULL, 42};
+  msg.subjects = {0, 7, 40, 41, 59, 4000000000u};  // sparse ids survive
+  msg.row_count = static_cast<uint32_t>(msg.subjects.size());
+  auto out = round_trip(msg);
+  EXPECT_EQ(out.origin, 40u);
+  EXPECT_EQ(out.origin_incarnation, 3u);
+  EXPECT_EQ(out.level, 2);
+  EXPECT_EQ(out.epoch, 19u);
+  EXPECT_TRUE(out.subtree);
+  EXPECT_EQ(out.row_count, 6u);
+  EXPECT_EQ(out.view_hash, msg.view_hash);
+  EXPECT_EQ(out.buckets, msg.buckets);
+  EXPECT_EQ(out.subjects, msg.subjects);
+
+  // Downward full-view digest: no scope list, row_count free-standing.
+  RefreshDigestMsg down;
+  down.origin = 2;
+  down.row_count = 5000;
+  down.buckets.assign(16, 9);
+  auto down_out = round_trip(down);
+  EXPECT_FALSE(down_out.subtree);
+  EXPECT_EQ(down_out.row_count, 5000u);
+  EXPECT_TRUE(down_out.subjects.empty());
+}
+
+TEST(Messages, RefreshDigestScopeListValidated) {
+  RefreshDigestMsg msg;
+  msg.origin = 1;
+  msg.subtree = true;
+  msg.buckets = {7};
+  msg.subjects = {4, 9};
+  msg.row_count = 2;
+  // Baseline sanity: the valid form decodes.
+  (void)round_trip(msg);
+
+  // A scope list on a downward digest is malformed.
+  RefreshDigestMsg down = msg;
+  down.subtree = false;
+  auto payload = encode_message(Message{down});
+  EXPECT_FALSE(decode_message(payload->data(), payload->size()).has_value());
+
+  // row_count must match the scope list length on subtree digests.
+  RefreshDigestMsg short_count = msg;
+  short_count.row_count = 1;
+  payload = encode_message(Message{short_count});
+  EXPECT_FALSE(decode_message(payload->data(), payload->size()).has_value());
+
+  // Non-ascending ids produce a zero delta on the wire — rejected.
+  RefreshDigestMsg dup = msg;
+  dup.subjects = {4, 4};
+  payload = encode_message(Message{dup});
+  EXPECT_FALSE(decode_message(payload->data(), payload->size()).has_value());
+}
+
+TEST(Messages, RefreshPullRoundTrip) {
+  RefreshPullMsg msg;
+  msg.requester = 86;
+  msg.level = 1;
+  msg.epoch = 4;
+  msg.subtree = true;
+  msg.bucket_indices = {0, 3, 15};
+  msg.rows = {DigestRowSummary{12, 2, 0x1111},
+              DigestRowSummary{77, 9, 0x2222}};
+  auto out = round_trip(msg);
+  EXPECT_EQ(out.requester, 86u);
+  EXPECT_EQ(out.level, 1);
+  EXPECT_EQ(out.epoch, 4u);
+  EXPECT_TRUE(out.subtree);
+  EXPECT_EQ(out.bucket_indices, msg.bucket_indices);
+  ASSERT_EQ(out.rows.size(), 2u);
+  EXPECT_EQ(out.rows[1].subject, 77u);
+  EXPECT_EQ(out.rows[1].incarnation, 9u);
+  EXPECT_EQ(out.rows[1].row_hash, 0x2222u);
+}
+
+TEST(Messages, RefreshDeltaRoundTrip) {
+  RefreshDeltaMsg msg;
+  msg.responder = 23;
+  msg.responder_incarnation = 5;
+  msg.level = 1;
+  msg.epoch = 11;
+  msg.truncated = true;
+  msg.entries = {make_representative_entry(30, 1),
+                 make_representative_entry(31, 2)};
+  msg.confirmed = {24, 25, 39};
+  auto out = round_trip(msg);
+  EXPECT_EQ(out.responder, 23u);
+  EXPECT_EQ(out.responder_incarnation, 5u);
+  EXPECT_EQ(out.epoch, 11u);
+  EXPECT_TRUE(out.truncated);
+  ASSERT_EQ(out.entries.size(), 2u);
+  EXPECT_EQ(out.entries[0], msg.entries[0]);
+  EXPECT_EQ(out.entries[1], msg.entries[1]);
+  EXPECT_EQ(out.confirmed, msg.confirmed);
+}
+
+TEST(Messages, DigestRowHashIgnoresLocalSoftState) {
+  // The hash covers replicated content only — two holders with different
+  // soft state (liveness, provenance, timestamps live outside EntryData)
+  // must agree, or steady-state digests would never match.
+  EntryData a = make_representative_entry(9, 3);
+  EntryData b = a;
+  EXPECT_EQ(digest_row_hash(a), digest_row_hash(b));
+  b.incarnation++;
+  EXPECT_NE(digest_row_hash(a), digest_row_hash(b));
+  b = a;
+  b.values["load"] = "0.7";
+  EXPECT_NE(digest_row_hash(a), digest_row_hash(b));
+  EXPECT_NE(digest_row_hash(a), 0u);  // zero is reserved (XOR-invisible)
+}
+
 TEST(Messages, MalformedInputsRejected) {
   EXPECT_FALSE(decode_message(nullptr, 0).has_value());
   uint8_t unknown_version[] = {0xee, 1, 2, 3};

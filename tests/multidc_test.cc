@@ -146,7 +146,7 @@ TEST(RelayEdgeCases, WanCutFailsRelayWithTimeout) {
   EXPECT_LT(elapsed, 5 * sim::kSecond);
 }
 
-TEST(RelayEdgeCases, ProxyStatsAccount) {
+TEST(RelayEdgeCases, ProxyCountersAccount) {
   sim::Simulation sim(103);
   MultiDcParams params = service::default_two_dc_params();
   MultiDcHarness harness(sim, params);
@@ -172,9 +172,13 @@ TEST(RelayEdgeCases, ProxyStatsAccount) {
   auto* west_leader = harness.proxy_leader(1);
   ASSERT_NE(east_leader, nullptr);
   ASSERT_NE(west_leader, nullptr);
-  EXPECT_GT(east_leader->stats().wan_heartbeats_sent, 5u);
-  EXPECT_GT(east_leader->stats().wan_messages_received, 5u);
-  EXPECT_GT(west_leader->stats().relays_to_local_group, 0u);
+  const obs::MetricsRegistry& m = harness.network().obs().metrics;
+  auto proxy_counter = [&](const proxy::ProxyDaemon* d, std::string_view name) {
+    return m.counter_value(obs::Protocol::kProxy, name, d->self());
+  };
+  EXPECT_GT(proxy_counter(east_leader, "wan_heartbeats_sent"), 5u);
+  EXPECT_GT(proxy_counter(east_leader, "wan_messages_received"), 5u);
+  EXPECT_GT(proxy_counter(west_leader, "relays_to_local_group"), 0u);
 }
 
 }  // namespace

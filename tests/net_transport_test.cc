@@ -38,8 +38,13 @@ TEST_F(TransportFixture, UnicastToUnboundPortCountsWireTraffic) {
   Network net(sim, topo);
   net.send_unicast(layout.hosts[0], {layout.hosts[1], 9}, bytes({1}));
   sim.run();
-  EXPECT_EQ(net.stats(layout.hosts[1]).rx_messages, 1u);
-  EXPECT_GT(net.stats(layout.hosts[1]).rx_wire_bytes, 0u);
+  const obs::MetricsRegistry& m = net.obs().metrics;
+  EXPECT_EQ(m.counter_value(obs::Protocol::kNet, "rx_messages",
+                            layout.hosts[1]),
+            1u);
+  EXPECT_GT(m.counter_value(obs::Protocol::kNet, "rx_wire_bytes",
+                            layout.hosts[1]),
+            0u);
 }
 
 TEST_F(TransportFixture, MulticastReachesOnlyGroupMembers) {
@@ -125,7 +130,9 @@ TEST_F(TransportFixture, ExtraLossDropsRoughlyAtRate) {
   }
   sim.run();
   EXPECT_NEAR(static_cast<double>(rx) / sent, 0.7, 0.03);
-  EXPECT_EQ(net.stats(layout.hosts[1]).dropped_messages,
+  EXPECT_EQ(net.obs().metrics.counter_value(obs::Protocol::kNet,
+                                            "dropped_messages",
+                                            layout.hosts[1]),
             static_cast<uint64_t>(sent - rx));
 }
 
@@ -152,7 +159,9 @@ TEST_F(TransportFixture, WireBytesIncludeOverheadAndFragments) {
                    make_payload(std::vector<uint8_t>(250, 0)));
   sim.run();
   // 250 bytes -> 3 fragments -> 250 + 3 * 46.
-  EXPECT_EQ(net.total_stats().tx_wire_bytes, 250u + 3u * 46u);
+  EXPECT_EQ(net.obs().metrics.counter_value(obs::Protocol::kNet,
+                                            "tx_wire_bytes"),
+            250u + 3u * 46u);
 }
 
 TEST_F(TransportFixture, VirtualIpFollowsOwner) {
@@ -188,12 +197,19 @@ TEST_F(TransportFixture, StatsAccumulateAndReset) {
   net.bind(layout.hosts[1], 7, [](const Packet&) {});
   net.send_multicast(layout.hosts[0], 3, 1, 7, bytes({1, 2}));
   sim.run();
-  EXPECT_EQ(net.stats(layout.hosts[0]).tx_messages, 1u);
-  EXPECT_EQ(net.stats(layout.hosts[1]).rx_multicast_messages, 1u);
-  EXPECT_EQ(net.total_stats().rx_messages, 1u);
-  net.reset_stats();
-  EXPECT_EQ(net.stats(layout.hosts[0]).tx_messages, 0u);
-  EXPECT_EQ(net.total_stats().rx_messages, 0u);
+  const obs::MetricsRegistry& m = net.obs().metrics;
+  EXPECT_EQ(m.counter_value(obs::Protocol::kNet, "tx_messages",
+                            layout.hosts[0]),
+            1u);
+  EXPECT_EQ(m.counter_value(obs::Protocol::kNet, "rx_multicast_messages",
+                            layout.hosts[1]),
+            1u);
+  EXPECT_EQ(m.counter_value(obs::Protocol::kNet, "rx_messages"), 1u);
+  net.obs().metrics.reset(obs::Protocol::kNet);
+  EXPECT_EQ(m.counter_value(obs::Protocol::kNet, "tx_messages",
+                            layout.hosts[0]),
+            0u);
+  EXPECT_EQ(m.counter_value(obs::Protocol::kNet, "rx_messages"), 0u);
 }
 
 TEST_F(TransportFixture, LeaveGroupStopsDelivery) {

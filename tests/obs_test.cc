@@ -1,8 +1,8 @@
 // Observability layer tests: the metrics registry and tracer in isolation,
 // trace determinism through the chaos scenario runner (same seed =>
 // byte-identical JSONL), the conservation identities the runner grades, and
-// the v3 control-surface round-trip (MetricsQuery / TraceControl) including
-// the version-mismatch rejection path.
+// the v4 control-surface round-trip (MetricsQuery / TraceControl /
+// AntiEntropyQuery) including the version-mismatch rejection path.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -203,7 +203,7 @@ TEST(MetricsConservation, HoldsAcrossSchemesUnderChaos) {
   }
 }
 
-// --- control surface (v3) --------------------------------------------------
+// --- control surface (v4) --------------------------------------------------
 
 class ControlObsFixture : public ::testing::Test {
  protected:
@@ -302,6 +302,57 @@ TEST_F(ControlObsFixture, MalformedObservabilityRequestsAreRejected) {
 
 TEST_F(ControlObsFixture, MetricsQueryRequiresRunningDaemon) {
   EXPECT_FALSE(service->control(api::MetricsQuery{}).status.ok());
+}
+
+TEST_F(ControlObsFixture, AntiEntropyQueryReportsModeAndCounters) {
+  ASSERT_EQ(service->run(), 0);
+  sim.run_until(70 * sim::kSecond);  // past at least one refresh interval
+
+  api::ControlResponse response = service->control(api::AntiEntropyQuery{});
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+  EXPECT_EQ(response.version, api::kControlApiVersion);
+  EXPECT_EQ(response.anti_entropy.mode, "full");
+  // Full mode never emits digest traffic.
+  EXPECT_EQ(response.anti_entropy.digests_sent, 0u);
+  EXPECT_EQ(response.anti_entropy.deltas_sent, 0u);
+}
+
+TEST_F(ControlObsFixture, AntiEntropyQueryReflectsDigestMode) {
+  api::MembershipConfig config;
+  ASSERT_TRUE(api::MembershipConfigBuilder()
+                  .anti_entropy_mode("digest")
+                  .Build(&config)
+                  .ok());
+  api::DirectoryStore digest_store;
+  api::MService digest_service(sim, *net, digest_store, layout.hosts[1],
+                               config);
+  ASSERT_EQ(digest_service.run(), 0);
+  sim.run_until(sim.now() + 70 * sim::kSecond);
+
+  api::ControlResponse response =
+      digest_service.control(api::AntiEntropyQuery{});
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+  EXPECT_EQ(response.anti_entropy.mode, "digest");
+  // The lone leader on its channel has sent at least one digest round, and
+  // the registry's per-node counters back every stat the response carries.
+  EXPECT_GT(response.anti_entropy.digests_sent, 0u);
+  EXPECT_EQ(response.anti_entropy.digests_sent,
+            net->obs().metrics.counter_value(
+                obs::Protocol::kHier, "digests_sent", layout.hosts[1]));
+}
+
+TEST_F(ControlObsFixture, AntiEntropyQueryVersionAndRunGates) {
+  // Before run(): rejected like every daemon-backed query.
+  EXPECT_FALSE(service->control(api::AntiEntropyQuery{}).status.ok());
+
+  ASSERT_EQ(service->run(), 0);
+  api::AntiEntropyQuery stale;
+  stale.version = 3;
+  api::ControlResponse response = service->control(stale);
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_NE(response.status.message().find("not supported"),
+            std::string::npos);
+  EXPECT_TRUE(response.anti_entropy.mode.empty());  // rejected => not filled
 }
 
 TEST_F(ControlObsFixture, TraceControlDrivesTheNetworkTracer) {

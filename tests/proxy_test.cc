@@ -111,7 +111,9 @@ TEST_F(ProxyFixture, VipFailsOverWhenLeaderDies) {
   EXPECT_NE(new_leader->self(), old_leader);
   EXPECT_EQ(harness->network().virtual_ip_owner(harness->vip(0)),
             new_leader->self());
-  EXPECT_GT(new_leader->stats().vip_takeovers, 0u);
+  EXPECT_GT(harness->network().obs().metrics.counter_value(
+                obs::Protocol::kProxy, "vip_takeovers", new_leader->self()),
+            0u);
 }
 
 TEST_F(ProxyFixture, RemoteDirectoryExpiresWhenWanCut) {

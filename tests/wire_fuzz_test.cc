@@ -390,6 +390,111 @@ TEST(WireFuzz, MutatedServiceMessagesNeverCrash) {
   SUCCEED();
 }
 
+// Random digest-family messages round-trip through the full envelope; the
+// scope list exercises the delta-varint coding across sparse id spaces.
+TEST(WireFuzz, RandomDigestMessagesRoundTrip) {
+  util::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    membership::RefreshDigestMsg msg;
+    msg.origin = static_cast<membership::NodeId>(rng.uniform_u64(10000));
+    msg.origin_incarnation = rng.next_u64();
+    msg.level = static_cast<uint8_t>(rng.uniform_u64(4));
+    msg.epoch = rng.uniform_u64(1 << 20);
+    msg.subtree = rng.uniform_u64(2) == 1;
+    msg.view_hash = rng.next_u64();
+    size_t buckets = 1 + rng.uniform_u64(64);
+    for (size_t b = 0; b < buckets; ++b) msg.buckets.push_back(rng.next_u64());
+    if (msg.subtree) {
+      membership::NodeId id = 0;
+      size_t subjects = rng.uniform_u64(200);
+      for (size_t s = 0; s < subjects; ++s) {
+        id += 1 + static_cast<membership::NodeId>(rng.uniform_u64(1 << 16));
+        msg.subjects.push_back(id);
+      }
+    }
+    msg.row_count = msg.subtree
+                        ? static_cast<uint32_t>(msg.subjects.size())
+                        : static_cast<uint32_t>(rng.uniform_u64(20000));
+
+    auto payload = membership::encode_message(membership::Message{msg});
+    auto decoded = membership::decode_message(payload->data(), payload->size());
+    ASSERT_TRUE(decoded.has_value());
+    auto* out = std::get_if<membership::RefreshDigestMsg>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->origin, msg.origin);
+    EXPECT_EQ(out->subtree, msg.subtree);
+    EXPECT_EQ(out->row_count, msg.row_count);
+    EXPECT_EQ(out->view_hash, msg.view_hash);
+    EXPECT_EQ(out->buckets, msg.buckets);
+    EXPECT_EQ(out->subjects, msg.subjects);
+  }
+}
+
+TEST(WireFuzz, MutatedDigestMessagesNeverCrash) {
+  util::Rng rng(12);
+  membership::RefreshDigestMsg digest;
+  digest.origin = 40;
+  digest.subtree = true;
+  digest.buckets.assign(16, 0x55aa55aa55aa55aaULL);
+  for (membership::NodeId id = 20; id < 40; ++id) {
+    digest.subjects.push_back(id);
+  }
+  digest.row_count = static_cast<uint32_t>(digest.subjects.size());
+
+  membership::RefreshPullMsg pull;
+  pull.requester = 7;
+  pull.subtree = true;
+  pull.bucket_indices = {1, 5, 9};
+  for (membership::NodeId id = 20; id < 30; ++id) {
+    pull.rows.push_back(membership::DigestRowSummary{id, 1, 0x1234});
+  }
+
+  membership::RefreshDeltaMsg delta;
+  delta.responder = 40;
+  delta.truncated = true;
+  delta.entries = {membership::make_representative_entry(21, 2)};
+  delta.confirmed = {22, 23, 24};
+
+  const membership::Message corpus[] = {membership::Message{digest},
+                                        membership::Message{pull},
+                                        membership::Message{delta}};
+  for (const auto& message : corpus) {
+    auto payload = membership::encode_message(message);
+    for (int i = 0; i < 20000; ++i) {
+      std::vector<uint8_t> mutated(*payload);
+      int flips = 1 + static_cast<int>(rng.uniform_u64(8));
+      for (int f = 0; f < flips; ++f) {
+        size_t pos = rng.uniform_u64(mutated.size());
+        mutated[pos] ^= static_cast<uint8_t>(1u << rng.uniform_u64(8));
+      }
+      (void)membership::decode_message(mutated.data(), mutated.size());
+    }
+    // Every truncated prefix as well: length fields lie, decoders may not.
+    for (size_t len = 0; len < payload->size(); ++len) {
+      (void)membership::decode_message(payload->data(), len);
+    }
+  }
+  SUCCEED();
+}
+
+// A forged bucket count past the decoder cap must be rejected outright, not
+// allocated.
+TEST(WireFuzz, OversizedDigestVectorsRejected) {
+  membership::RefreshDigestMsg msg;
+  msg.origin = 1;
+  msg.buckets.assign(membership::kMaxDigestBuckets + 1, 7);
+  auto payload = membership::encode_message(membership::Message{msg});
+  EXPECT_FALSE(
+      membership::decode_message(payload->data(), payload->size()).has_value());
+
+  membership::RefreshPullMsg pull;
+  pull.requester = 2;
+  pull.bucket_indices.assign(membership::kMaxDigestBuckets + 1, 3);
+  payload = membership::encode_message(membership::Message{pull});
+  EXPECT_FALSE(
+      membership::decode_message(payload->data(), payload->size()).has_value());
+}
+
 // Truncation fuzz: every prefix of a valid encoding must decode to nullopt
 // or a well-formed message, never crash or over-read.
 TEST(WireFuzz, TruncatedMessagesNeverCrash) {
