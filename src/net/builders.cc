@@ -31,6 +31,7 @@ ClusterLayout build_racked_cluster(Topology& topology,
   layout.dc = params.dc;
   layout.core_router = topology.add_router(
       util::strformat("%s-core", params.name_prefix.c_str()), params.dc);
+  layout.routers.push_back(layout.core_router);
   for (int r = 0; r < params.racks; ++r) {
     DeviceId sw = topology.add_l2_switch(
         util::strformat("%s-rack%d", params.name_prefix.c_str(), r),
@@ -60,6 +61,7 @@ DeviceId build_router_subtree(Topology& topology, int branching, int depth,
                               ClusterLayout& layout) {
   DeviceId router =
       topology.add_router(prefix + "-r", dc);
+  layout.routers.push_back(router);
   if (depth == 0) {
     DeviceId sw = topology.add_l2_switch(prefix + "-sw", dc);
     topology.connect(sw, router, LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
@@ -107,6 +109,7 @@ ClusterLayout build_router_chain(Topology& topology, int segments,
   for (int s = 0; s < segments; ++s) {
     DeviceId router = topology.add_router(
         util::strformat("%s-r%d", name_prefix.c_str(), s), dc);
+    layout.routers.push_back(router);
     if (previous != kInvalidDevice) {
       topology.connect(previous, router,
                        LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});

@@ -21,6 +21,10 @@ struct ClusterLayout {
   std::vector<DeviceId> rack_switches;
   std::vector<LinkId> rack_uplinks;        // rack switch -> core, per rack
   DeviceId core_router = kInvalidDevice;
+  // Every router the builder created, in creation order (chain: r0..rk-1;
+  // racked: just the core; tree: preorder). Fault plans use this to pick
+  // crash victims without knowing the shape.
+  std::vector<DeviceId> routers;
 };
 
 struct RackedClusterParams {

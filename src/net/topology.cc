@@ -13,7 +13,7 @@ HostId Topology::add_host(const std::string& name, DatacenterId dc) {
   devices_.push_back(Device{id, DeviceKind::kHost, name, dc});
   adjacency_.emplace_back();
   hosts_.push_back(id);
-  compiled_ = false;
+  mutated();
   return id;
 }
 
@@ -21,7 +21,7 @@ DeviceId Topology::add_l2_switch(const std::string& name, DatacenterId dc) {
   DeviceId id = static_cast<DeviceId>(devices_.size());
   devices_.push_back(Device{id, DeviceKind::kL2Switch, name, dc});
   adjacency_.emplace_back();
-  compiled_ = false;
+  mutated();
   return id;
 }
 
@@ -29,7 +29,7 @@ DeviceId Topology::add_router(const std::string& name, DatacenterId dc) {
   DeviceId id = static_cast<DeviceId>(devices_.size());
   devices_.push_back(Device{id, DeviceKind::kRouter, name, dc});
   adjacency_.emplace_back();
-  compiled_ = false;
+  mutated();
   return id;
 }
 
@@ -39,11 +39,22 @@ LinkId Topology::connect(DeviceId a, DeviceId b, const LinkParams& params) {
       !(devices_[a].kind == DeviceKind::kHost &&
         devices_[b].kind == DeviceKind::kHost),
       "hosts must attach to a switch or router, not to each other");
+  // Enforce single-homing at the mutation site, loudly: runtime rewiring
+  // made the invariant mutable, so a violation must name its victim instead
+  // of surfacing later as a silent routing assumption.
+  for (DeviceId end : {a, b}) {
+    if (devices_[end].kind == DeviceKind::kHost) {
+      TAMP_CHECK_MSG(adjacency_[end].empty(),
+                     "host '%s' already has an uplink: hosts must be "
+                     "single-homed (use migrate_host to re-home it)",
+                     devices_[end].name.c_str());
+    }
+  }
   LinkId id = static_cast<LinkId>(links_.size());
   links_.push_back(Link{id, a, b, params, true});
   adjacency_[a].push_back(id);
   adjacency_[b].push_back(id);
-  compiled_ = false;
+  mutated();
   return id;
 }
 
@@ -51,15 +62,56 @@ void Topology::set_link_up(LinkId link, bool up) {
   TAMP_CHECK(link < links_.size());
   if (links_[link].up != up) {
     links_[link].up = up;
-    compiled_ = false;
+    mutated();
   }
+}
+
+void Topology::set_device_up(DeviceId device, bool up) {
+  TAMP_CHECK(device < devices_.size());
+  TAMP_CHECK_MSG(devices_[device].kind != DeviceKind::kHost,
+                 "set_device_up models infrastructure power state; host "
+                 "'%s' up/down belongs to the Network",
+                 devices_[device].name.c_str());
+  if (devices_[device].up != up) {
+    devices_[device].up = up;
+    mutated();
+  }
+}
+
+bool Topology::device_up(DeviceId device) const {
+  TAMP_CHECK(device < devices_.size());
+  return devices_[device].up;
+}
+
+void Topology::migrate_host(HostId host, DeviceId new_attach,
+                            const LinkParams* params) {
+  TAMP_CHECK(is_host(host));
+  TAMP_CHECK(new_attach < devices_.size());
+  TAMP_CHECK_MSG(devices_[new_attach].kind != DeviceKind::kHost,
+                 "cannot migrate host '%s' onto host '%s': hosts attach to "
+                 "a switch or router",
+                 devices_[host].name.c_str(),
+                 devices_[new_attach].name.c_str());
+  const LinkId uplink = uplink_of(host);  // fatal (with name) if not single-homed
+  Link& link = links_[uplink];
+  const DeviceId old_attach = link.a == host ? link.b : link.a;
+  if (old_attach != new_attach) {
+    std::erase(adjacency_[old_attach], uplink);
+    adjacency_[new_attach].push_back(uplink);
+    link.a = host;
+    link.b = new_attach;
+  }
+  if (params != nullptr) link.params = *params;
+  mutated();
 }
 
 LinkId Topology::uplink_of(HostId host) const {
   TAMP_CHECK(is_host(host));
   // The physical cable, up or not (an unplugged host still has one) — the
   // compiled host_uplink_ only tracks *live* links.
-  TAMP_CHECK_MSG(adjacency_[host].size() == 1, "hosts must be single-homed");
+  TAMP_CHECK_MSG(adjacency_[host].size() == 1,
+                 "host '%s' has %zu uplinks: hosts must be single-homed",
+                 devices_[host].name.c_str(), adjacency_[host].size());
   return adjacency_[host][0];
 }
 
@@ -110,10 +162,13 @@ void Topology::compile() const {
   host_uplink_.assign(devices_.size(), UINT32_MAX);
   host_attach_.assign(devices_.size(), kInvalidDevice);
   for (HostId h : hosts_) {
-    int live_links = 0;
+    int uplinks = 0;
     for (LinkId l : adjacency_[h]) {
-      TAMP_CHECK_MSG(++live_links <= 1, "hosts must be single-homed");
-      if (!links_[l].up) continue;
+      TAMP_CHECK_MSG(++uplinks <= 1,
+                     "host '%s' has multiple uplinks: hosts must be "
+                     "single-homed",
+                     devices_[h].name.c_str());
+      if (!link_live(links_[l])) continue;
       host_uplink_[h] = l;
       host_attach_[h] = links_[l].a == h ? links_[l].b : links_[l].a;
     }
@@ -160,7 +215,7 @@ void Topology::compile() const {
       done[u] = true;
       for (LinkId l : adjacency_[infra_devices_[u]]) {
         const Link& link = links_[l];
-        if (!link.up) continue;
+        if (!link_live(link)) continue;
         DeviceId other = link.a == infra_devices_[u] ? link.b : link.a;
         if (devices_[other].kind == DeviceKind::kHost) continue;
         size_t v = infra_index_[other];

@@ -12,6 +12,15 @@
 // how cluster hosts are racked in the paper's environment. This lets us do
 // all-pairs routing among the (few) infrastructure devices only and answer
 // host-pair queries in O(1), which keeps 4000-host simulations fast.
+// The invariant is enforced loudly (fatal, naming the host) at connect()
+// time; host migration rewires the existing uplink instead of adding one.
+//
+// The topology is mutable at runtime: devices can be added, links added or
+// flapped, whole routers/switches crashed and recovered (all incident links
+// down/up atomically), and hosts migrated between segments. Every mutation
+// bumps epoch() and invalidates the compiled routing state, which is
+// rebuilt lazily on the next query — callers that cache ttl_required() or
+// max_ttl() answers watch the epoch to learn they went stale.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +39,10 @@ struct Device {
   DeviceKind kind = DeviceKind::kHost;
   std::string name;
   DatacenterId dc = 0;
+  // Infrastructure power state (routers/switches; see set_device_up). Host
+  // up/down lives in the Network, not here: a host with its daemon stopped
+  // still occupies its port.
+  bool up = true;
 };
 
 struct LinkParams {
@@ -67,6 +80,30 @@ class Topology {
   // is recomputed lazily on the next query.
   void set_link_up(LinkId link, bool up);
 
+  // --- runtime mutation -------------------------------------------------
+  // Crash / recover an infrastructure device (router or switch): all its
+  // incident links go down/up *atomically* — no query can observe a
+  // half-crashed router, because routing recompiles only after the flag
+  // flips. Links keep their own administrative state: a link that was
+  // admin-down before the crash stays down after recovery. Fatal on hosts.
+  void set_device_up(DeviceId device, bool up);
+  bool device_up(DeviceId device) const;
+
+  // Re-home `host` onto a different access device (rack move / VLAN
+  // renumbering). The existing uplink is rewired in place — its LinkId and
+  // administrative state survive, so fault plans holding uplink_of(host)
+  // stay valid — preserving the single-homed invariant by construction.
+  // `params`, when non-null, replaces the link's latency/bandwidth/loss.
+  void migrate_host(HostId host, DeviceId new_attach,
+                    const LinkParams* params = nullptr);
+
+  // Monotone counter bumped by every mutation that can change routing
+  // answers (device/link addition, link or device state, migration).
+  // Callers that derive state from ttl_required()/max_ttl() — the
+  // hierarchical daemons' group scopes above all — poll this to detect
+  // that their cached distance structure went stale.
+  uint64_t epoch() const { return epoch_; }
+
   // --- queries ----------------------------------------------------------
   size_t device_count() const { return devices_.size(); }
   size_t host_count() const { return hosts_.size(); }
@@ -91,8 +128,10 @@ class Topology {
   int max_ttl() const;
 
   // The (single) access link attaching `host` to the infrastructure — the
-  // hook fault plans use to unplug one machine's NIC cable. The host must
-  // have exactly one uplink (the single-homed constraint above).
+  // hook fault plans use to unplug one machine's NIC cable. The single-homed
+  // invariant is mutable at runtime (migration rewires it, connect() could
+  // violate it), so a host found with != 1 uplink is a documented fatal
+  // that names the offending host rather than a silent assumption.
   LinkId uplink_of(HostId host) const;
 
   // All links incident to a device (e.g. a rack switch, to model the whole
@@ -111,11 +150,22 @@ class Topology {
   void compile() const;  // (re)build routing state; const because lazy
   const InfraPath& infra_path(DeviceId a, DeviceId b) const;
   static void accumulate(InfraPath& acc, const LinkParams& link);
+  // A link carries traffic iff it is admin-up and both endpoint devices are
+  // powered — this is what makes a device crash take every incident link
+  // down atomically.
+  bool link_live(const Link& link) const {
+    return link.up && devices_[link.a].up && devices_[link.b].up;
+  }
+  void mutated() {
+    compiled_ = false;
+    ++epoch_;
+  }
 
   std::vector<Device> devices_;
   std::vector<Link> links_;
   std::vector<HostId> hosts_;
   std::vector<std::vector<LinkId>> adjacency_;  // per device
+  uint64_t epoch_ = 0;
 
   // Compiled routing state (lazy).
   mutable bool compiled_ = false;

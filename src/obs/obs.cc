@@ -65,6 +65,8 @@ const char* trace_kind_name(TraceKind kind) {
       return "egress_drop";
     case TraceKind::kVipTakeover:
       return "vip_takeover";
+    case TraceKind::kTopologyChange:
+      return "topology_change";
     case TraceKind::kCount:
       break;
   }

@@ -173,6 +173,9 @@ enum class TraceKind : uint8_t {
   kBusyDeferral = 16,    // a = busy responder, b = retry_after ns
   kEgressDrop = 17,      // a = wire kind, b = wire bytes
   kVipTakeover = 18,     // proxy VIP failover, a = datacenter
+  kTopologyChange = 19,  // hier: reacted to a topology epoch change,
+                         //   a = new epoch, b = members dropped as
+                         //   out-of-scope across all levels
   kCount,
 };
 const char* trace_kind_name(TraceKind kind);

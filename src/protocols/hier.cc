@@ -63,7 +63,12 @@ HierDaemon::HierDaemon(sim::Simulation& sim, net::Network& net, NodeId self,
                      configured_refresh_interval(config) > 0
                          ? configured_refresh_interval(config)
                          : sim::kSecond,
-                     [this] { refresh_tick(); }) {
+                     [this] { refresh_tick(); }),
+      topo_poll_timer_(sim,
+                       config.topology_poll_interval > 0
+                           ? config.topology_poll_interval
+                           : config.period,
+                       [this] { topology_poll_tick(); }) {
   TAMP_CHECK(config_.max_ttl >= 1 && config_.max_ttl <= 250);
   table_ = membership::MembershipTable(config_.tombstone_ttl);
   levels_.reserve(static_cast<size_t>(config_.max_ttl));
@@ -128,6 +133,7 @@ void HierDaemon::resolve_metrics() {
   metrics_.delta_rows_shipped = c("delta_rows_shipped");
   metrics_.digest_rows_suppressed = c("digest_rows_suppressed");
   metrics_.digest_full_fallbacks = c("digest_full_fallbacks");
+  metrics_.topology_rescopes = c("topology_rescopes");
   metrics_.image_serve_entries =
       m.histogram(obs::Protocol::kHier, "image_serve_entries", self_);
 }
@@ -176,6 +182,10 @@ void HierDaemon::start() {
   heartbeat_timer_.start_with_random_phase();
   scan_timer_.start_with_random_phase();
   if (anti_entropy_interval() > 0) refresh_timer_.start_with_random_phase();
+  if (config_.topology_poll_interval > 0) {
+    topo_epoch_seen_ = net_.topology().epoch();
+    topo_poll_timer_.start_with_random_phase();
+  }
   join_level(0);
 }
 
@@ -184,6 +194,7 @@ void HierDaemon::stop() {
   heartbeat_timer_.stop();
   scan_timer_.stop();
   refresh_timer_.stop();
+  topo_poll_timer_.stop();
   leave_levels_from(0);
   net_.unbind(self_, config_.data_port);
   net_.unbind(self_, config_.control_port);
@@ -371,6 +382,62 @@ void HierDaemon::scan_level(int level) {
     if (now - info.last_heard > timeout) dead.push_back(node);
   }
   for (NodeId node : dead) on_member_dead(level, node);
+}
+
+void HierDaemon::topology_poll_tick() {
+  const uint64_t epoch = net_.topology().epoch();
+  if (epoch == topo_epoch_seen_) return;
+  topo_epoch_seen_ = epoch;
+  on_topology_change(epoch);
+}
+
+void HierDaemon::on_topology_change(uint64_t epoch) {
+  // The routing fabric changed shape under us. Re-probe every group
+  // member's TTL distance against the new routes and shed the ones whose
+  // distance no longer fits their level — waiting for their heartbeats to
+  // time out would be both slow and wrong (it carries death semantics; a
+  // migrated node is alive). Members that moved *into* scope announce
+  // themselves on the next heartbeat they multicast.
+  uint64_t dropped = 0;
+  for (int level = 0; level < config_.max_ttl; ++level) {
+    if (levels_[level]->joined) dropped += drop_out_of_scope(level);
+  }
+  trace(obs::TraceKind::kTopologyChange, -1, epoch, dropped);
+  if (dropped > 0) metrics_.topology_rescopes->add(dropped);
+  // Announce immediately on every joined channel: peers the new routes just
+  // put within earshot hear us up to a full period early, and where two
+  // established leaders suddenly share a scope the heartbeat's leader flag
+  // starts the merge (lowest id keeps the role) right away.
+  for (int level = 0; level < config_.max_ttl; ++level) {
+    if (levels_[level]->joined) send_heartbeat(level);
+  }
+}
+
+size_t HierDaemon::drop_out_of_scope(int level) {
+  LevelState& ls = level_state(level);
+  std::vector<NodeId> gone;
+  for (const auto& [member, info] : ls.members) {
+    const int ttl = net_.topology().ttl_required(self_, member);
+    if (ttl == 0 || ttl > level + 1) gone.push_back(member);
+  }
+  for (NodeId member : gone) {
+    // Mirror the voluntary-leave path (on_heartbeat's `leaving` branch):
+    // the member is alive, merely out of earshot now, so no leave record is
+    // relayed and no purge cascades — its entry just becomes second-hand.
+    ls.members.erase(member);
+    prune_pending(ls, member);
+    if (ls.leader == member) {
+      ls.leader = membership::kInvalidNode;
+      ls.backup_grace_timer->restart(config_.backup_grace);
+    }
+    if (ls.i_am_leader && ls.my_backup == member) {
+      ls.my_backup = pick_backup(level);
+    }
+    if (!heard_directly(member)) {
+      table_.demote_to_relayed(member, membership::kInvalidNode);
+    }
+  }
+  return gone.size();
 }
 
 bool HierDaemon::heard_directly(NodeId node) const {

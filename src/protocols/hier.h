@@ -114,6 +114,15 @@ struct HierConfig {
   // Buckets per digest; mismatches are repaired per-bucket, so more buckets
   // localize divergence better at ~8 bytes each on the wire.
   int digest_buckets = 16;
+  // Self-healing across runtime topology mutation: how often to poll the
+  // network's topology epoch (Topology::epoch()). On a change the daemon
+  // re-probes every group member's TTL distance — modelling the ICMP probe
+  // a real deployment would fire after a routing change — drops members
+  // that fell out of the level's scope (alive, just moved: no death
+  // semantics), and re-announces itself so newly in-scope peers merge a
+  // full period early. 0 (the default) disables the poll; the protocol
+  // then reconverges on its ordinary timeout/refresh machinery alone.
+  sim::Duration topology_poll_interval = 0;
 };
 
 // Per-daemon counters live in the MetricsRegistry under
@@ -263,6 +272,13 @@ class HierDaemon : public MembershipDaemon {
   void send_heartbeat(int level);
   void scan_tick();
   void scan_level(int level);
+  // Topology-epoch watch (see HierConfig::topology_poll_interval).
+  void topology_poll_tick();
+  void on_topology_change(uint64_t epoch);
+  // Drop this level's members whose live ttl_required() no longer fits the
+  // level's scope, via the voluntary-leave path (they are alive). Returns
+  // how many were dropped.
+  size_t drop_out_of_scope(int level);
   void on_member_dead(int level, membership::NodeId member);
   bool heard_directly(membership::NodeId node) const;
   // Drop entries whose relay chain went through `dead` (paper Timeout
@@ -425,6 +441,9 @@ class HierDaemon : public MembershipDaemon {
     obs::Counter* delta_rows_shipped = nullptr;      // divergent rows shipped
     obs::Counter* digest_rows_suppressed = nullptr;  // agreeing rows confirmed
     obs::Counter* digest_full_fallbacks = nullptr;   // truncated → image sync
+    obs::Counter* topology_rescopes = nullptr;       // members dropped as
+                                                     // out-of-scope on an
+                                                     // epoch change
     obs::Histogram* image_serve_entries = nullptr;
   };
   void resolve_metrics();
@@ -436,6 +455,10 @@ class HierDaemon : public MembershipDaemon {
   sim::PeriodicTimer heartbeat_timer_;
   sim::PeriodicTimer scan_timer_;
   sim::PeriodicTimer refresh_timer_;
+  sim::PeriodicTimer topo_poll_timer_;
+  // Topology::epoch() value already reacted to; re-anchored at start() so a
+  // daemon booting after mutations does not replay history.
+  uint64_t topo_epoch_seen_ = 0;
   Metrics metrics_;
   uint64_t hb_seq_ = 0;
   // Image-serve admission window (daemon-wide: the expensive part of a

@@ -75,7 +75,7 @@ void MembershipOracle::derive_bounds() {
     }
     case Scheme::kHierarchical: {
       const auto& cfg = opts.hier;
-      int levels = std::max(1, std::min(cfg.max_ttl, topology_.max_ttl()));
+      int levels = hier_levels();
       double worst_factor =
           std::pow(cfg.level_timeout_factor, static_cast<double>(levels - 1));
       sim::Duration worst_timeout = static_cast<sim::Duration>(
@@ -95,6 +95,12 @@ void MembershipOracle::derive_bounds() {
     }
   }
   if (config_.quiesce > 0) quiesce_ = config_.quiesce;
+}
+
+int MembershipOracle::hier_levels() const {
+  return std::max(config_.min_levels,
+                  std::max(1, std::min(cluster_.options().hier.max_ttl,
+                                       topology_.max_ttl())));
 }
 
 sim::Duration MembershipOracle::detection_deadline() const {
@@ -225,6 +231,17 @@ void MembershipOracle::note_network_fault(bool any_active) {
   join_probes_.clear();
 }
 
+void MembershipOracle::note_topology_mutation() {
+  last_topology_mutation_ = sim_.now();
+  last_network_change_ = sim_.now();
+  last_fault_ = sim_.now();
+  // Distances changed mid-probe: like any network-condition edge, the
+  // event-driven obligations cannot be graded across it — the quiescent
+  // checks (completeness + scope reconvergence) take over.
+  probes_.clear();
+  join_probes_.clear();
+}
+
 // --- reachability ------------------------------------------------------------
 
 bool MembershipOracle::default_reachable(net::HostId from,
@@ -323,6 +340,11 @@ void MembershipOracle::tick() {
     if (cluster_.options().scheme == Scheme::kHierarchical) {
       check_leader_uniqueness();
       check_provenance();
+      if (last_topology_mutation_ == 0 ||
+          sim_.now() - last_topology_mutation_ >=
+              config_.reconvergence_bound) {
+        check_scope_reconvergence();
+      }
     }
   }
 }
@@ -435,7 +457,7 @@ void MembershipOracle::check_solicited_rate() {
     last_served_.assign(cluster_.size(), 0);
     last_requested_.assign(cluster_.size(), 0);
   }
-  const int levels = std::max(1, std::min(cfg.max_ttl, topology_.max_ttl()));
+  const int levels = hier_levels();
   // A check window spans this many serve windows, plus one for phase.
   const uint64_t windows =
       static_cast<uint64_t>(config_.check_interval /
@@ -488,8 +510,7 @@ void MembershipOracle::check_solicited_rate() {
 
 void MembershipOracle::check_epochs() {
   // Invariants 7-8: leadership-epoch hygiene (hierarchical only).
-  const int levels = std::max(
-      1, std::min(cluster_.options().hier.max_ttl, topology_.max_ttl()));
+  const int levels = hier_levels();
   if (epoch_seen_.empty()) {
     epoch_seen_.assign(cluster_.size(),
                        std::vector<membership::Epoch>(levels, 0));
@@ -609,9 +630,7 @@ void MembershipOracle::check_completeness() {
 void MembershipOracle::check_leader_uniqueness() {
   // Invariant 5: "a group leader cannot see other leaders at the same
   // level" — no two level-L leaders within TTL L+1 of each other.
-  const int levels =
-      std::max(1, std::min(cluster_.options().hier.max_ttl,
-                           topology_.max_ttl()));
+  const int levels = hier_levels();
   for (int level = 0; level < levels; ++level) {
     std::vector<size_t> leaders;
     for (size_t i = 0; i < cluster_.size(); ++i) {
@@ -684,6 +703,53 @@ void MembershipOracle::check_provenance() {
         if (next->liveness == Liveness::kDirect) break;  // well-founded root
         cursor = next;
         subject = relay;
+      }
+    }
+  }
+}
+
+void MembershipOracle::check_scope_reconvergence() {
+  // Invariant 11: at quiescence every group membership is consistent with
+  // the topology as it stands *now* — after any runtime mutation, the
+  // hierarchy has re-formed around the new ttl_required() distances.
+  // Observer o must track subject s in its level-L group iff s is up and
+  // has joined level L, s currently sits within TTL L+1 of o, and the pair
+  // is mutually reachable; any stale (or missing) membership past the
+  // reconvergence bound is a wedged scope.
+  const int levels = hier_levels();
+  for (size_t i = 0; i < cluster_.size(); ++i) {
+    if (!truth_[i].alive || truth_[i].paused) continue;
+    HierDaemon* daemon = cluster_.hier_daemon(i);
+    if (daemon == nullptr || !daemon->running()) continue;
+    const net::HostId self = cluster_.hosts()[i];
+    for (int level = 0; level < levels; ++level) {
+      if (!daemon->joined(level)) continue;
+      std::vector<NodeId> members = daemon->group_members(level);
+      std::sort(members.begin(), members.end());
+      for (size_t j = 0; j < cluster_.size(); ++j) {
+        if (j == i) continue;
+        const net::HostId subject = cluster_.hosts()[j];
+        const bool tracked =
+            std::binary_search(members.begin(), members.end(), subject);
+        bool expected = false;
+        if (truth_[j].alive && !truth_[j].paused) {
+          HierDaemon* peer = cluster_.hier_daemon(j);
+          if (peer != nullptr && peer->running() && peer->joined(level)) {
+            const int ttl = topology_.ttl_required(self, subject);
+            expected = ttl > 0 && ttl <= level + 1 &&
+                       is_reachable(subject, self) &&
+                       is_reachable(self, subject);
+          }
+        }
+        if (tracked == expected) continue;
+        const int ttl = topology_.ttl_required(self, subject);
+        add_violation(
+            "scope-reconvergence", self, subject,
+            std::string(tracked ? "still tracked in" : "missing from") +
+                " the level-" + std::to_string(level) +
+                " group at quiescence (current ttl_required " +
+                std::to_string(ttl) + ", scope " + std::to_string(level + 1) +
+                ")");
       }
     }
   }

@@ -45,6 +45,14 @@
 //     the solicited-request rate stays within what dedup'd, backed-off
 //     retries can produce. A breach means the recovery path is amplifying
 //     load instead of shedding it — the overload death-spiral signature.
+// 11. Scope reconvergence (at quiescence, hierarchical): every group
+//     membership matches the *live* topology's TTL distances — observer o
+//     tracks subject s in its level-L group iff s has joined level L, the
+//     current ttl_required(o, s) is in (0, L+1], and the pair is mutually
+//     reachable. Graded on every run; after runtime topology mutation
+//     (router crash/recovery, added links, host migration) this is the
+//     "groups reconverged to the new shape" guarantee, and on a run with
+//     no mutation it degenerates to a static scope-consistency check.
 //
 // The first violation is captured with full context (invariant, observer,
 // subject, virtual time, detail) so a failing chaos scenario is
@@ -73,6 +81,16 @@ class MembershipOracle {
     // (completeness, leader uniqueness, provenance) are enforced.
     // 0 = derive from the scheme's timeout/tombstone/anti-entropy config.
     sim::Duration quiesce = 0;
+    // Extra allowance, past quiescence, between the last topology mutation
+    // and the first scope-reconvergence check (invariant 11). 0 = the
+    // quiescence horizon alone is the reconvergence bound.
+    sim::Duration reconvergence_bound = 0;
+    // Floor on the hierarchy depth the checks size their bookkeeping for.
+    // The level count is otherwise derived from the topology's *current*
+    // max_ttl — set this when runtime mutation will deepen the hierarchy
+    // past its build-time depth (e.g. a host migrated behind a new router),
+    // so bounds and per-level state cover the final shape from the start.
+    int min_levels = 0;
     size_t max_violations = 8;  // stop collecting after this many
   };
 
@@ -106,6 +124,11 @@ class MembershipOracle {
   // delay / duplication window edges, link state) — resets the quiescence
   // clock and opens an excuse window for failure declarations.
   void note_network_fault(bool any_active);
+  // The topology itself changed shape (router crash/recovery, link added,
+  // host migrated): starts invariant 11's reconvergence clock on top of the
+  // usual quiescence reset. Callers still report the accompanying
+  // reachability change through note_network_fault.
+  void note_topology_mutation();
 
   // Reachability under the currently injected faults, direction-sensitive
   // (can packets from `a` reach `b`?). Defaults to topology reachability +
@@ -158,6 +181,11 @@ class MembershipOracle {
   };
 
   void derive_bounds();
+  // Hierarchy depth the per-level checks cover: the live topology's
+  // (clamped) max_ttl, floored by Config::min_levels. Per-level bookkeeping
+  // is sized with this at first use, so min_levels must cover any depth the
+  // run's mutations can reach.
+  int hier_levels() const;
   void install_listener(size_t index);
   void on_change(size_t observer_index, membership::NodeId subject, bool alive,
                  sim::Time when);
@@ -175,6 +203,7 @@ class MembershipOracle {
   void check_completeness();
   void check_leader_uniqueness();
   void check_provenance();
+  void check_scope_reconvergence();
   void add_violation(const std::string& invariant, membership::NodeId observer,
                      membership::NodeId subject, const std::string& detail);
 
@@ -202,6 +231,7 @@ class MembershipOracle {
   std::vector<std::vector<sim::Time>> stale_claim_since_;
   sim::Time last_fault_ = 0;          // any note_*() call
   sim::Time last_network_change_ = 0; // network-condition edges only
+  sim::Time last_topology_mutation_ = 0;  // shape changes only (invariant 11)
   bool network_fault_active_ = false;
   std::function<bool(net::HostId, net::HostId)> reachable_;
 

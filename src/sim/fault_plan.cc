@@ -79,6 +79,20 @@ std::string describe(const FaultAction& action) {
     std::string operator()(const DuplicateEndFault&) {
       return "duplication end";
     }
+    std::string operator()(const RouterCrashFault& f) {
+      return "router crash " + std::to_string(f.router);
+    }
+    std::string operator()(const RouterRestartFault& f) {
+      return "router restart " + std::to_string(f.router);
+    }
+    std::string operator()(const LinkAddFault& f) {
+      return "link add segment " + std::to_string(f.segment_a) + " <-> " +
+             std::to_string(f.segment_b);
+    }
+    std::string operator()(const HostMigrateFault& f) {
+      return "migrate node " + std::to_string(f.node) + " to segment " +
+             std::to_string(f.segment);
+    }
   };
   return std::visit(Visitor{}, action);
 }
@@ -105,6 +119,12 @@ const char* plan_name(PlanKind kind) {
       return "restart-storm";
     case PlanKind::kHealStorm:
       return "heal-storm";
+    case PlanKind::kRouterFlap:
+      return "router-flap";
+    case PlanKind::kRewireHeal:
+      return "rewire-heal";
+    case PlanKind::kCount:
+      break;
   }
   return "?";
 }
@@ -233,6 +253,30 @@ FaultPlan make_fault_plan(PlanKind kind, size_t nodes, size_t segment_size,
       at(24, PartitionEndFault{1});
       break;
     }
+    case PlanKind::kRouterFlap:
+      // Power-cycle router 1 (the middle of a chain; resolved modulo the
+      // router count, so the core on a racked cluster). Every group whose
+      // scope spanned it must re-form while it is dark, then re-merge when
+      // the old distances return.
+      at(0, RouterCrashFault{1});
+      at(24, RouterRestartFault{1});
+      break;
+    case PlanKind::kRewireHeal: {
+      // Crash a router, then heal the network into a *different* shape
+      // before it comes back: a new switch-switch link shortcuts segments
+      // 0 and 2 to TTL 1, and one random host is re-homed onto segment 1.
+      // ttl_required() changes three separate times; the hierarchy must
+      // track all three, and the oracle grades the final shape.
+      NodeIndex migrant = victim();
+      at(0, RouterCrashFault{1});
+      at(10, LinkAddFault{0, 2});
+      at(16, HostMigrateFault{migrant, 1});
+      at(28, RouterRestartFault{1});
+      break;
+    }
+    case PlanKind::kCount:
+      TAMP_CHECK_MSG(false, "kCount is a sentinel, not a plan");
+      break;
   }
 
   std::stable_sort(plan.events.begin(), plan.events.end(),

@@ -35,6 +35,17 @@
 //                             successor, then reattach it. The resumed node
 //                             still believes it leads and replays its stale
 //                             view — the stale-COORDINATOR interleaving.
+//  * RouterCrash/Restart    — power-cycle an infrastructure router (all its
+//                             incident links down/up atomically), changing
+//                             ttl_required() mid-run; falls back to an
+//                             injector partition of the router's segment on
+//                             shapes with no routers.
+//  * LinkAdd                — wire a new switch-switch link, healing the
+//                             network into a *different* shape (segments
+//                             that were TTL 2+ apart become TTL 1).
+//  * HostMigrate            — re-home one host onto another segment's
+//                             switch (rack move): its distances to every
+//                             peer change while it stays alive throughout.
 #pragma once
 
 #include <cstdint>
@@ -91,14 +102,34 @@ struct DuplicateStartFault {
   int copies = 1;
 };
 struct DuplicateEndFault {};
+// Topology-mutation verbs. `router`, `segment_a/b`, and `segment` are
+// shape-relative indices (resolved modulo the layout's router / segment
+// count at fire time), like UplinkDown's `segment`.
+struct RouterCrashFault {
+  size_t router = 0;
+};
+struct RouterRestartFault {
+  size_t router = 0;
+};
+struct LinkAddFault {
+  size_t segment_a = 0;
+  size_t segment_b = 0;
+};
+struct HostMigrateFault {
+  NodeIndex node = 0;    // which host moves
+  size_t segment = 0;    // destination segment's switch
+};
 
+// New verbs append at the end: the variant index is traced (kFault payload),
+// so insertion would silently renumber existing trace baselines.
 using FaultAction =
     std::variant<CrashFault, RestartFault, PauseFault, ResumeFault,
                  LeaderCrashFault, LeaderRestartFault, LeaderPauseFault,
                  LeaderResumeFault, PartitionStartFault, PartitionEndFault,
                  UplinkDownFault, UplinkUpFault, LossStartFault, LossEndFault,
                  DelayStartFault, DelayEndFault, DuplicateStartFault,
-                 DuplicateEndFault>;
+                 DuplicateEndFault, RouterCrashFault, RouterRestartFault,
+                 LinkAddFault, HostMigrateFault>;
 
 struct FaultEvent {
   sim::Time at = 0;
@@ -135,6 +166,12 @@ enum class PlanKind {
                    // every node (churn at recovery-path scale)
   kHealStorm,      // two islands partitioned at staggered times, healed
                    // together (mass view re-merge: sync/refresh stressor)
+  kRouterFlap,     // crash a router mid-run and power it back: every group
+                   // whose scope spanned it must re-form, twice
+  kRewireHeal,     // crash a router, then heal into a *different* shape
+                   // (new switch-switch link + one host migrated) before
+                   // the router returns — distances change three times
+  kCount,          // sentinel, not a plan
 };
 
 inline constexpr PlanKind kAllPlanKinds[] = {
@@ -143,7 +180,14 @@ inline constexpr PlanKind kAllPlanKinds[] = {
     PlanKind::kLeaderKill,    PlanKind::kPauseResume,
     PlanKind::kUplinkFlap,    PlanKind::kJoinStorm,
     PlanKind::kRestartStorm,  PlanKind::kHealStorm,
+    PlanKind::kRouterFlap,    PlanKind::kRewireHeal,
 };
+inline constexpr size_t kPlanKindCount =
+    static_cast<size_t>(PlanKind::kCount);
+// A new PlanKind must be added to kAllPlanKinds (and handled in plan_name()
+// + make_fault_plan(), which the exhaustiveness test sweeps via this array).
+static_assert(std::size(kAllPlanKinds) == kPlanKindCount,
+              "kAllPlanKinds is missing a PlanKind");
 
 const char* plan_name(PlanKind kind);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_set>
 
 #include "net/builders.h"
@@ -33,6 +34,8 @@ bool plan_applicable(Scheme scheme, PlanKind plan) {
     case PlanKind::kUplinkFlap:
     case PlanKind::kPauseResume:
     case PlanKind::kHealStorm:
+    case PlanKind::kRouterFlap:
+    case PlanKind::kRewireHeal:
       return false;  // symmetric split: gossip has no rejoin path
     default:
       return true;
@@ -174,6 +177,9 @@ class ChaosController : public net::FaultInjector {
 // Partition ids >= this are reserved for the uplink-flap fallback on shapes
 // that have no real uplinks, keyed by segment.
 constexpr int kUplinkPartitionBase = 1000;
+// Likewise for the router-crash fallback on shapes with no routers, keyed
+// by router index.
+constexpr int kRouterPartitionBase = 2000;
 
 class ScenarioRunner {
  public:
@@ -199,10 +205,18 @@ class ScenarioRunner {
 
     protocols::Cluster::Options opts;
     opts.scheme = spec_.scheme;
-    opts.hier.max_ttl = std::max(1, topo_.max_ttl());
+    // The rewire-heal plan can deepen the hierarchy past its build-time
+    // shape (single segment: the migrant ends up behind the annex router at
+    // TTL 2), so the level budget must cover the final topology, not the
+    // initial one.
+    const int min_ttl = spec_.plan == PlanKind::kRewireHeal ? 2 : 1;
+    opts.hier.max_ttl = std::max(min_ttl, topo_.max_ttl());
     // Faster anti-entropy keeps the post-fault repair horizon (and thus the
     // whole matrix's wall time) short without changing the protocol.
     opts.hier.refresh_interval = 10 * sim::kSecond;
+    // Watch the topology epoch at heartbeat cadence: mutation plans need the
+    // re-scoping reaction, and on static plans the poll never fires.
+    opts.hier.topology_poll_interval = opts.hier.period;
     if (spec_.hier_digest) {
       opts.hier.anti_entropy_mode = protocols::AntiEntropyMode::kDigest;
     }
@@ -218,6 +232,9 @@ class ScenarioRunner {
 
     protocols::MembershipOracle::Config oracle_config;
     oracle_config.formation_grace = fault_start_;
+    // Size the oracle's per-level bookkeeping for the deepest shape the
+    // plan's mutations can produce (see min_ttl above).
+    oracle_config.min_levels = min_ttl;
     oracle_ = std::make_unique<protocols::MembershipOracle>(
         sim_, *net_, topo_, *cluster_, oracle_config);
     oracle_->set_reachability([this](net::HostId from, net::HostId to) {
@@ -429,6 +446,7 @@ class ScenarioRunner {
     if (segment < layout_.rack_uplinks.size()) {
       topo_.set_link_up(layout_.rack_uplinks[segment], up);
       uplinks_down_ += up ? -1 : 1;
+      oracle_->note_topology_mutation();
     } else {
       // No physical uplink on this shape: emulate the same reachability cut
       // through the injector.
@@ -445,7 +463,85 @@ class ScenarioRunner {
 
   void network_changed() {
     oracle_->note_network_fault(controller_.any_active() ||
-                                uplinks_down_ > 0);
+                                uplinks_down_ > 0 || routers_down_ > 0);
+  }
+
+  // The topology itself changed shape (as opposed to an injected
+  // reachability cut): start invariant 11's reconvergence clock too.
+  void topology_mutated() {
+    oracle_->note_topology_mutation();
+    network_changed();
+  }
+
+  // Crash or recover a router, all incident links at once. The index is
+  // resolved modulo the routers the builder created; on the single-segment
+  // shape (no routers at all) the blackout is emulated as an injector
+  // partition of the router's segment.
+  void set_router(size_t router, bool up) {
+    if (!layout_.routers.empty()) {
+      net::DeviceId device = layout_.routers[router % layout_.routers.size()];
+      if (topo_.device_up(device) == up) return;  // already there: no-op
+      topo_.set_device_up(device, up);
+      routers_down_ += up ? -1 : 1;
+      topology_mutated();
+    } else {
+      int id = kRouterPartitionBase + static_cast<int>(router);
+      if (up) {
+        controller_.end_partition(id);
+      } else {
+        controller_.start_partition(id, segment_hosts(router),
+                                    /*symmetric=*/true);
+      }
+      network_changed();
+    }
+  }
+
+  // Wire two segment switches directly together (a repair/shortcut link).
+  // Indices resolve modulo the segment count; a self-link or a duplicate of
+  // a link this runner already added is a no-op.
+  void add_segment_link(size_t a, size_t b) {
+    if (layout_.rack_switches.empty()) return;
+    net::DeviceId sa = layout_.rack_switches[a % layout_.rack_switches.size()];
+    net::DeviceId sb = layout_.rack_switches[b % layout_.rack_switches.size()];
+    if (sa > sb) std::swap(sa, sb);
+    if (sa == sb || added_links_.contains({sa, sb})) return;
+    topo_.connect(sa, sb, net::LinkParams{20 * sim::kMicrosecond, 1e9, 0.0});
+    added_links_.insert({sa, sb});
+    topology_mutated();
+  }
+
+  // Re-home a node's uplink onto another segment's switch. On multi-segment
+  // shapes the destination is that segment's rack switch (bumped by one if
+  // the node already lives there); the single-segment shape has nowhere else
+  // to go, so the first migration builds an "annex" — a new switch behind a
+  // new router — which deepens the hierarchy to two levels.
+  void migrate_node(NodeIndex node, size_t segment) {
+    net::HostId h = host(node % layout_.hosts.size());
+    net::DeviceId target;
+    if (layout_.rack_switches.size() > 1) {
+      target = layout_.rack_switches[segment % layout_.rack_switches.size()];
+      const net::Link& uplink = topo_.link(topo_.uplink_of(h));
+      net::DeviceId current = uplink.a == h ? uplink.b : uplink.a;
+      if (target == current) {
+        target =
+            layout_.rack_switches[(segment + 1) % layout_.rack_switches.size()];
+      }
+    } else {
+      target = annex_switch();
+    }
+    topo_.migrate_host(h, target);
+    topology_mutated();
+  }
+
+  net::DeviceId annex_switch() {
+    if (annex_switch_ == net::kInvalidDevice) {
+      net::DeviceId router = topo_.add_router("chaos-annex-r");
+      annex_switch_ = topo_.add_l2_switch("chaos-annex-sw");
+      net::LinkParams uplink{20 * sim::kMicrosecond, 1e9, 0.0};
+      topo_.connect(annex_switch_, router, uplink);
+      topo_.connect(router, layout_.rack_switches[0], uplink);
+    }
+    return annex_switch_;
   }
 
   void apply(const FaultAction& action) {
@@ -536,6 +632,12 @@ class ScenarioRunner {
               controller_.set_duplicates(0);
               network_changed();
             },
+            [&](const RouterCrashFault& f) { set_router(f.router, false); },
+            [&](const RouterRestartFault& f) { set_router(f.router, true); },
+            [&](const LinkAddFault& f) {
+              add_segment_link(f.segment_a, f.segment_b);
+            },
+            [&](const HostMigrateFault& f) { migrate_node(f.node, f.segment); },
         },
         action);
   }
@@ -553,6 +655,9 @@ class ScenarioRunner {
   std::vector<size_t> leader_victims_;
   std::vector<size_t> paused_leaders_;
   int uplinks_down_ = 0;
+  int routers_down_ = 0;
+  net::DeviceId annex_switch_ = net::kInvalidDevice;
+  std::set<std::pair<net::DeviceId, net::DeviceId>> added_links_;
 };
 
 }  // namespace

@@ -5,6 +5,7 @@
 // state is corrupt; recoverable errors use exceptions or status returns.
 #pragma once
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,6 +14,23 @@ namespace tamp::util {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line) {
   std::fprintf(stderr, "TAMP_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+// printf-style variant so failures can name the offending entity (host,
+// device, ...) instead of just restating the condition.
+[[noreturn]] inline void check_failed_fmt(const char* file, int line,
+                                          const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] inline void check_failed_fmt(const char* file, int line,
+                                          const char* fmt, ...) {
+  std::fprintf(stderr, "TAMP_CHECK failed: ");
+  std::va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, " at %s:%d\n", file, line);
   std::abort();
 }
 
@@ -25,9 +43,10 @@ namespace tamp::util {
     }                                                       \
   } while (0)
 
-#define TAMP_CHECK_MSG(cond, msg)                          \
-  do {                                                     \
-    if (!(cond)) {                                         \
-      ::tamp::util::check_failed(msg, __FILE__, __LINE__); \
-    }                                                      \
+// TAMP_CHECK_MSG(cond, "literal") or TAMP_CHECK_MSG(cond, "fmt %s", arg...).
+#define TAMP_CHECK_MSG(cond, ...)                                      \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::tamp::util::check_failed_fmt(__FILE__, __LINE__, __VA_ARGS__); \
+    }                                                                  \
   } while (0)

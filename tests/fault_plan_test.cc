@@ -70,6 +70,27 @@ TEST(FaultPlan, VictimsNeverTargetNodeZero) {
   }
 }
 
+TEST(FaultPlan, PlanKindTableIsExhaustive) {
+  // The static_assert in fault_plan.h pins std::size(kAllPlanKinds) to the
+  // kCount sentinel; this sweep pins the rest of the surface to the array,
+  // so a new PlanKind cannot ship with a missing name, generator, or
+  // describe() case.
+  EXPECT_EQ(std::size(kAllPlanKinds), kPlanKindCount);
+  std::set<std::string> names;
+  for (PlanKind kind : kAllPlanKinds) {
+    std::string name = plan_name(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?") << "PlanKind " << static_cast<int>(kind)
+                         << " missing from plan_name()";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate plan name " << name;
+    FaultPlan plan = make_fault_plan(kind, 12, 4, 0, 1);
+    EXPECT_FALSE(plan.events.empty()) << name;
+    for (const auto& event : plan.events) {
+      EXPECT_FALSE(describe(event.action).empty()) << name;
+    }
+  }
+}
+
 TEST(FaultPlan, DescribeCoversEveryAction) {
   for (PlanKind kind : kAllPlanKinds) {
     FaultPlan plan = make_fault_plan(kind, 12, 4, 0, 3);

@@ -163,11 +163,9 @@ TEST(Topology, HostsMustBeSingleHomed) {
   DeviceId sw2 = topo.add_l2_switch("sw2");
   topo.connect(sw1, sw2);
   HostId h = topo.add_host("h");
-  HostId other = topo.add_host("other");
   topo.connect(h, sw1);
-  topo.connect(h, sw2);
-  topo.connect(other, sw2);
-  EXPECT_DEATH((void)topo.path(h, other), "single-homed");
+  // A second uplink dies at the mutation site, naming the offending host.
+  EXPECT_DEATH(topo.connect(h, sw2), "host 'h'.*single-homed");
 }
 
 TEST(Topology, HostToHostLinkRejected) {
@@ -175,6 +173,188 @@ TEST(Topology, HostToHostLinkRejected) {
   HostId a = topo.add_host("a");
   HostId b = topo.add_host("b");
   EXPECT_DEATH(topo.connect(a, b), "hosts must attach");
+}
+
+TEST(Topology, DeviceCrashDropsIncidentLinksAtomically) {
+  Topology topo;
+  RackedClusterParams params;
+  params.racks = 3;
+  params.hosts_per_rack = 2;
+  auto layout = build_racked_cluster(topo, params);
+  HostId a = layout.racks[0][0];
+  HostId b = layout.racks[1][0];
+  EXPECT_EQ(topo.ttl_required(a, b), 2);
+
+  uint64_t before = topo.epoch();
+  topo.set_device_up(layout.routers[0], false);
+  EXPECT_GT(topo.epoch(), before);
+  // Every cross-rack path dies in the same recompile; intra-rack survives.
+  EXPECT_FALSE(topo.path(a, b).reachable);
+  EXPECT_FALSE(topo.path(a, layout.racks[2][0]).reachable);
+  EXPECT_TRUE(topo.path(a, layout.racks[0][1]).reachable);
+  EXPECT_EQ(topo.max_ttl(), 1);
+
+  // Links keep their own admin state across device recovery: an uplink taken
+  // down during the blackout stays down after power-on.
+  topo.set_link_up(layout.rack_uplinks[1], false);
+  topo.set_device_up(layout.routers[0], true);
+  EXPECT_TRUE(topo.path(a, layout.racks[2][0]).reachable);
+  EXPECT_FALSE(topo.path(a, b).reachable);
+  topo.set_link_up(layout.rack_uplinks[1], true);
+  EXPECT_EQ(topo.ttl_required(a, b), 2);
+}
+
+TEST(Topology, SetDeviceUpRejectsHosts) {
+  Topology topo;
+  auto layout = build_single_segment(topo, 2);
+  EXPECT_DEATH(topo.set_device_up(layout.hosts[0], false),
+               "belongs to the Network");
+}
+
+TEST(Topology, MigrateHostRewiresUplinkInPlace) {
+  Topology topo;
+  RackedClusterParams params;
+  params.racks = 2;
+  params.hosts_per_rack = 2;
+  auto layout = build_racked_cluster(topo, params);
+  HostId mover = layout.racks[0][0];
+  HostId old_peer = layout.racks[0][1];
+  HostId new_peer = layout.racks[1][0];
+  LinkId cable = topo.uplink_of(mover);
+
+  topo.set_link_up(cable, false);  // admin state must survive the move
+  topo.migrate_host(mover, layout.rack_switches[1]);
+  EXPECT_EQ(topo.uplink_of(mover), cable);  // same cable, new port
+  EXPECT_FALSE(topo.path(mover, new_peer).reachable);  // still unplugged
+  topo.set_link_up(cable, true);
+  EXPECT_EQ(topo.ttl_required(mover, new_peer), 1);  // now same segment
+  EXPECT_EQ(topo.ttl_required(mover, old_peer), 2);  // old rack across core
+}
+
+TEST(Topology, EpochCountsEveryMutation) {
+  Topology topo;
+  uint64_t last = topo.epoch();
+  auto bumped = [&] {
+    bool result = topo.epoch() > last;
+    last = topo.epoch();
+    return result;
+  };
+  DeviceId sw = topo.add_l2_switch("sw");
+  EXPECT_TRUE(bumped());
+  DeviceId r = topo.add_router("r");
+  EXPECT_TRUE(bumped());
+  HostId h = topo.add_host("h");
+  EXPECT_TRUE(bumped());
+  LinkId l = topo.connect(h, sw);
+  EXPECT_TRUE(bumped());
+  topo.connect(sw, r);
+  EXPECT_TRUE(bumped());
+  topo.set_link_up(l, false);
+  EXPECT_TRUE(bumped());
+  topo.set_link_up(l, false);  // no state change: no bump
+  EXPECT_FALSE(bumped());
+  topo.set_device_up(r, false);
+  EXPECT_TRUE(bumped());
+  topo.set_device_up(r, false);  // no state change: no bump
+  EXPECT_FALSE(bumped());
+  topo.migrate_host(h, r);
+  EXPECT_TRUE(bumped());
+  (void)topo.max_ttl();  // queries never bump
+  EXPECT_FALSE(bumped());
+}
+
+TEST(Topology, InterleavedMutationsMatchFreshRebuild) {
+  // Property test for lazy recompilation: apply a deterministic script of
+  // uplink flaps, router power cycles, migrations, and link additions with
+  // queries interleaved (forcing a recompile between every mutation pair),
+  // and after each step require path()/ttl_required()/max_ttl() to agree
+  // with a fresh topology that replayed the same prefix cold. Routing
+  // answers must depend only on the mutation history, never on when the
+  // compiles happened.
+  RackedClusterParams params;
+  params.racks = 3;
+  params.hosts_per_rack = 3;
+
+  struct Op {
+    enum Kind { kFlapUplink, kRouterPower, kMigrate, kAddLink } kind;
+    size_t a = 0;
+    size_t b = 0;
+    bool up = false;
+  };
+  std::vector<Op> script;
+  uint64_t state = 12345;
+  auto next = [&] {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  bool router_up = true;
+  std::vector<bool> uplink_up(3, true);
+  for (int i = 0; i < 48; ++i) {
+    switch (next() % 4) {
+      case 0: {
+        size_t s = next() % 3;
+        uplink_up[s] = !uplink_up[s];
+        script.push_back({Op::kFlapUplink, s, 0, uplink_up[s]});
+        break;
+      }
+      case 1:
+        router_up = !router_up;
+        script.push_back({Op::kRouterPower, 0, 0, router_up});
+        break;
+      case 2:
+        script.push_back({Op::kMigrate, next() % 9, next() % 3, false});
+        break;
+      case 3:
+        script.push_back({Op::kAddLink, next() % 3, next() % 3, false});
+        break;
+    }
+  }
+
+  auto apply = [](Topology& topo, const ClusterLayout& layout, const Op& op) {
+    switch (op.kind) {
+      case Op::kFlapUplink:
+        topo.set_link_up(layout.rack_uplinks[op.a], op.up);
+        break;
+      case Op::kRouterPower:
+        topo.set_device_up(layout.routers[0], op.up);
+        break;
+      case Op::kMigrate:
+        topo.migrate_host(layout.hosts[op.a], layout.rack_switches[op.b]);
+        break;
+      case Op::kAddLink:
+        if (op.a != op.b) {
+          topo.connect(layout.rack_switches[op.a], layout.rack_switches[op.b]);
+        }
+        break;
+    }
+  };
+
+  Topology live;
+  ClusterLayout layout = build_racked_cluster(live, params);
+  for (size_t i = 0; i < script.size(); ++i) {
+    apply(live, layout, script[i]);
+    // Interleaved queries: compile against the half-applied script.
+    (void)live.max_ttl();
+    (void)live.path(layout.hosts[0], layout.hosts[i % layout.hosts.size()]);
+
+    Topology fresh;
+    ClusterLayout fresh_layout = build_racked_cluster(fresh, params);
+    for (size_t j = 0; j <= i; ++j) apply(fresh, fresh_layout, script[j]);
+
+    ASSERT_EQ(live.epoch(), fresh.epoch()) << "after op " << i;
+    ASSERT_EQ(live.max_ttl(), fresh.max_ttl()) << "after op " << i;
+    for (HostId a : layout.hosts) {
+      for (HostId b : layout.hosts) {
+        ASSERT_EQ(live.ttl_required(a, b), fresh.ttl_required(a, b))
+            << "after op " << i << " pair " << a << "," << b;
+        PathInfo lp = live.path(a, b);
+        PathInfo fp = fresh.path(a, b);
+        ASSERT_EQ(lp.reachable, fp.reachable) << "after op " << i;
+        ASSERT_EQ(lp.latency, fp.latency) << "after op " << i;
+        ASSERT_EQ(lp.router_hops, fp.router_hops) << "after op " << i;
+      }
+    }
+  }
 }
 
 }  // namespace
