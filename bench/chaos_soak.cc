@@ -49,6 +49,12 @@ int main(int argc, char** argv) {
   auto& metrics_flag = flags.add_string(
       "metrics", "", "append each scenario's metrics-registry snapshot"
                      " (JSON) to this file");
+  auto& slo_flag = flags.add_bool(
+      "slo", false, "run the application workload on every scenario and"
+                    " print its per-phase SLO report (deterministic JSON)");
+  auto& slo_out_flag = flags.add_string(
+      "slo-out", "", "with --slo: also append each scenario's SLO report"
+                     " (JSONL, byte-identical per seed) to this file");
   flags.parse(argc, argv);
 
   if (verbose_flag) {
@@ -119,6 +125,19 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  std::FILE* slo_out = nullptr;
+  if (!slo_out_flag.empty()) {
+    if (!slo_flag) {
+      std::fprintf(stderr, "--slo-out requires --slo\n");
+      return 2;
+    }
+    slo_out = std::fopen(slo_out_flag.c_str(), "w");
+    if (slo_out == nullptr) {
+      std::fprintf(stderr, "cannot open --slo-out=%s\n",
+                   slo_out_flag.c_str());
+      return 2;
+    }
+  }
 
   // Collect the sweep in canonical order first; the runner preserves this
   // order in its output stream no matter how many workers execute it.
@@ -140,6 +159,7 @@ int main(int argc, char** argv) {
           spec.nodes = static_cast<size_t>(nodes_flag);
           spec.trace = trace_out != nullptr;
           spec.metrics = metrics_out != nullptr;
+          spec.slo = slo_flag;
           spec.hier_digest =
               hier_digest && scheme == protocols::Scheme::kHierarchical;
           specs.push_back(spec);
@@ -161,6 +181,10 @@ int main(int argc, char** argv) {
                    result.name.c_str());
       std::fprintf(metrics_out, "%s\n", result.metrics_json.c_str());
     }
+    if (slo_out != nullptr) {
+      std::fprintf(slo_out, "{\"scenario\":\"%s\",\"slo\":%s}\n",
+                   result.name.c_str(), result.slo_json.c_str());
+    }
     std::printf("%-4s %-55s horizon=%6.1fs events=%-8llu checks=%-4llu"
                 " converged=%zu/%zu\n",
                 result.passed ? "ok" : "FAIL", result.name.c_str(),
@@ -168,6 +192,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.events),
                 static_cast<unsigned long long>(result.oracle_checks),
                 result.final_converged, result.final_running);
+    if (!result.slo_json.empty()) {
+      std::printf("     slo %s\n", result.slo_json.c_str());
+    }
     if (!result.passed) {
       ++failed;
       std::printf("%s\nreproduce with: %s\n", result.report.c_str(),
@@ -178,6 +205,7 @@ int main(int argc, char** argv) {
 
   if (trace_out != nullptr) std::fclose(trace_out);
   if (metrics_out != nullptr) std::fclose(metrics_out);
+  if (slo_out != nullptr) std::fclose(slo_out);
   std::printf("chaos_soak: %zu scenario(s), %d failed, %d skipped"
               " (inapplicable)\n",
               specs.size(), failed, skipped);

@@ -58,7 +58,7 @@ int main() {
                     std::printf("GET %-10s -> partition %d via node %-3u"
                                 " (%s, %.2f ms)\n",
                                 key.c_str(), partition, result.server,
-                                result.ok ? "hit" : "MISS",
+                                result.ok() ? "hit" : "MISS",
                                 sim::to_millis(result.latency));
                   });
   };

@@ -46,7 +46,7 @@ int main() {
                   [&](const service::InvokeResult& result) {
                     std::printf(
                         "cross-dc call: %s in %.1f ms (via proxy: %s)\n",
-                        result.ok ? "OK" : "FAILED",
+                        result.ok() ? "OK" : "FAILED",
                         sim::to_millis(result.latency),
                         result.via_proxy ? "yes" : "no");
                   });
@@ -74,7 +74,7 @@ int main() {
                   [&](const service::InvokeResult& result) {
                     std::printf(
                         "cross-dc call after failover: %s in %.1f ms\n",
-                        result.ok ? "OK" : "FAILED",
+                        result.ok() ? "OK" : "FAILED",
                         sim::to_millis(result.latency));
                   });
   sim.run_until(sim.now() + 3 * sim::kSecond);

@@ -110,6 +110,55 @@ ControlResponse MService::control(const ControlRequest& request) {
     stats.digest_full_fallbacks = counter("digest_full_fallbacks");
     return response;
   }
+  // Shared reader for the two application-traffic queries: both start from
+  // the node's workload counters.
+  auto read_workload = [&](int version, const char* what) -> bool {
+    if (version != kControlApiVersion) {
+      response.status = Status::Error(
+          std::string(what) + " version " + std::to_string(version) +
+          " not supported (this service speaks v" +
+          std::to_string(kControlApiVersion) + ")");
+      return false;
+    }
+    if (daemon_ == nullptr || !daemon_->running()) {
+      response.status =
+          Status::Error(std::string(what) + " requires run()");
+      return false;
+    }
+    const obs::MetricsRegistry& metrics = net_.obs().metrics;
+    auto counter = [&](std::string_view name) {
+      return metrics.counter_value(obs::Protocol::kWorkload, name, self_);
+    };
+    WorkloadStats& stats = response.workload;
+    stats.requests_issued = counter("requests_issued");
+    stats.requests_ok = counter("requests_ok");
+    stats.requests_failed = counter("requests_failed");
+    stats.request_attempts = counter("request_attempts");
+    stats.misroutes = counter("misroutes");
+    stats.proxy_fallbacks = counter("proxy_fallbacks");
+    return true;
+  };
+  if (const auto* wl = std::get_if<WorkloadQuery>(&request)) {
+    read_workload(wl->version, "WorkloadQuery");
+    return response;
+  }
+  if (const auto* slo = std::get_if<SloQuery>(&request)) {
+    if (!read_workload(slo->version, "SloQuery")) return response;
+    const obs::Histogram* hist = net_.obs().metrics.find_histogram(
+        obs::Protocol::kWorkload, "latency_ns", self_);
+    if (hist != nullptr && hist->tail.count() > 0) {
+      // Percentile queries sort lazily; work on a copy so the registry
+      // cell stays untouched.
+      util::Percentiles tail = hist->tail;
+      SloStats& stats = response.slo;
+      stats.latency_samples = tail.count();
+      stats.p50_ns = static_cast<int64_t>(tail.median());
+      stats.p99_ns = static_cast<int64_t>(tail.p99());
+      stats.p999_ns = static_cast<int64_t>(tail.p999());
+      stats.max_ns = static_cast<int64_t>(tail.max());
+    }
+    return response;
+  }
   if (const auto* trace = std::get_if<TraceControl>(&request)) {
     if (trace->version != kControlApiVersion) {
       response.status = Status::Error(

@@ -34,15 +34,18 @@ namespace tamp::api {
 // The paper's `control(int cmd, void *arg)` became an enum + double in v1;
 // v2 replaced it with typed, versioned request/response structs. v3 added
 // the observability requests: MetricsQuery reads this node's registry
-// counters, TraceControl drives the network's structured tracer. v4 adds
+// counters, TraceControl drives the network's structured tracer. v4 added
 // AntiEntropyQuery, reporting the configured anti-entropy mode and the
 // digest-round economics (rows shipped vs. suppressed, full-image
-// fallbacks). The versioned requests carry their wire version explicitly
-// and are rejected on mismatch — an older client sending a newer-only
-// request (or a struct stamped with the old version) gets a Status error,
-// never silent misinterpretation. Parameter changes are requests validated
-// before run(); queries work on the live daemon.
-inline constexpr int kControlApiVersion = 4;
+// fallbacks). v5 adds the application-traffic queries: WorkloadQuery reads
+// this node's workload counters (requests issued/ok/failed, attempts,
+// misroutes, proxy fallbacks) and SloQuery additionally reports the node's
+// success-latency distribution. The versioned requests carry their wire
+// version explicitly and are rejected on mismatch — an older client
+// sending a newer-only request (or a struct stamped with the old version)
+// gets a Status error, never silent misinterpretation. Parameter changes
+// are requests validated before run(); queries work on the live daemon.
+inline constexpr int kControlApiVersion = 5;
 
 struct SetFrequencyRequest {
   double heartbeats_per_second = 1.0;  // MCAST_FREQ
@@ -84,10 +87,23 @@ struct AntiEntropyQuery {
   int version = kControlApiVersion;
 };
 
+// Read this node's application-workload counters (requires run()).
+// Versioned like the other queries: pre-v5 clients do not know the
+// workload layer exists.
+struct WorkloadQuery {
+  int version = kControlApiVersion;
+};
+
+// WorkloadQuery plus the node's success-latency distribution (requires
+// run()). Percentiles are exact ranks over the recorded samples.
+struct SloQuery {
+  int version = kControlApiVersion;
+};
+
 using ControlRequest =
     std::variant<SetFrequencyRequest, SetMaxLossRequest, SetMaxTtlRequest,
                  LeadershipQuery, MetricsQuery, TraceControl,
-                 AntiEntropyQuery>;
+                 AntiEntropyQuery, WorkloadQuery, SloQuery>;
 
 // One level of the hierarchy as the local daemon sees it.
 struct LeadershipInfo {
@@ -121,6 +137,27 @@ struct AntiEntropyStats {
   uint64_t digest_full_fallbacks = 0;
 };
 
+// This node's workload counters, from a WorkloadQuery or SloQuery. All
+// zero when the node runs no workload (the counters simply don't exist).
+struct WorkloadStats {
+  uint64_t requests_issued = 0;
+  uint64_t requests_ok = 0;
+  uint64_t requests_failed = 0;
+  uint64_t request_attempts = 0;
+  uint64_t misroutes = 0;
+  uint64_t proxy_fallbacks = 0;
+};
+
+// The node's success-latency distribution, from an SloQuery. Nanosecond
+// percentiles are -1 when no sample has been recorded.
+struct SloStats {
+  uint64_t latency_samples = 0;
+  int64_t p50_ns = -1;
+  int64_t p99_ns = -1;
+  int64_t p999_ns = -1;
+  int64_t max_ns = -1;
+};
+
 struct ControlResponse {
   int version = kControlApiVersion;
   Status status;
@@ -131,6 +168,10 @@ struct ControlResponse {
   std::vector<MetricValue> metrics;
   // Filled for AntiEntropyQuery (defaults otherwise).
   AntiEntropyStats anti_entropy;
+  // Filled for WorkloadQuery and SloQuery (defaults otherwise).
+  WorkloadStats workload;
+  // Filled for SloQuery (defaults otherwise).
+  SloStats slo;
 };
 
 class MService {

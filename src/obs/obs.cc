@@ -19,6 +19,8 @@ const char* protocol_name(Protocol protocol) {
       return "proxy";
     case Protocol::kChaos:
       return "chaos";
+    case Protocol::kWorkload:
+      return "workload";
     case Protocol::kCount:
       break;
   }
@@ -146,6 +148,15 @@ double MetricsRegistry::gauge_value(Protocol protocol, std::string_view name,
   auto it = gauges_.find(
       Key{static_cast<uint8_t>(protocol), std::string(name), node});
   return it != gauges_.end() ? it->second->value : 0.0;
+}
+
+const Histogram* MetricsRegistry::find_histogram(Protocol protocol,
+                                                 std::string_view name,
+                                                 NodeId node) const {
+  if (!enabled_) return nullptr;
+  auto it = histograms_.find(
+      Key{static_cast<uint8_t>(protocol), std::string(name), node});
+  return it != histograms_.end() ? it->second.get() : nullptr;
 }
 
 uint64_t MetricsRegistry::counter_sum_over_nodes(Protocol protocol,

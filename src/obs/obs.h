@@ -43,6 +43,7 @@ enum class Protocol : uint8_t {
   kHier,
   kProxy,
   kChaos,
+  kWorkload,
   kCount,
 };
 const char* protocol_name(Protocol protocol);
@@ -109,6 +110,10 @@ class MetricsRegistry {
   // Sum of every counter under `node` whose name starts with `prefix`.
   uint64_t counter_prefix_sum(Protocol protocol, std::string_view prefix,
                               NodeId node = kNoNode) const;
+  // Read access to an existing histogram cell (nullptr when absent or the
+  // registry is disabled) — the query-side companion of `histogram()`.
+  const Histogram* find_histogram(Protocol protocol, std::string_view name,
+                                  NodeId node = kNoNode) const;
 
   struct CounterRow {
     Protocol protocol;

@@ -7,6 +7,125 @@
 
 namespace tamp::service {
 
+ConsumerConfigBuilder& ConsumerConfigBuilder::replace(ConsumerConfig config) {
+  config_ = config;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::reply_port(net::Port port) {
+  config_.reply_port = port;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::provider_port(net::Port port) {
+  config_.provider_port = port;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::relay_port(net::Port port) {
+  config_.relay_port = port;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::poll_candidates(int candidates) {
+  config_.poll_candidates = candidates;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::poll_timeout(
+    sim::Duration timeout) {
+  config_.poll_timeout = timeout;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::request_timeout(
+    sim::Duration timeout) {
+  config_.request_timeout = timeout;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::relay_timeout(
+    sim::Duration timeout) {
+  config_.relay_timeout = timeout;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::max_attempts(int attempts) {
+  config_.max_attempts = attempts;
+  return *this;
+}
+
+ConsumerConfigBuilder& ConsumerConfigBuilder::proxy_fallback(bool enabled) {
+  config_.proxy_fallback = enabled;
+  return *this;
+}
+
+api::Status ConsumerConfigBuilder::Build(ConsumerConfig* out) const {
+  if (config_.poll_candidates < 1 || config_.poll_candidates > 16) {
+    return api::Status::Error("poll_candidates must be in [1, 16], got " +
+                              std::to_string(config_.poll_candidates));
+  }
+  if (config_.max_attempts < 1 || config_.max_attempts > 16) {
+    return api::Status::Error("max_attempts must be in [1, 16], got " +
+                              std::to_string(config_.max_attempts));
+  }
+  if (config_.poll_timeout <= 0) {
+    return api::Status::Error("poll_timeout must be positive");
+  }
+  if (config_.request_timeout <= 0) {
+    return api::Status::Error("request_timeout must be positive");
+  }
+  if (config_.relay_timeout <= 0) {
+    return api::Status::Error("relay_timeout must be positive");
+  }
+  if (config_.reply_port == config_.provider_port) {
+    return api::Status::Error(
+        "reply_port must differ from provider_port (both " +
+        std::to_string(config_.reply_port) + ")");
+  }
+  if (config_.reply_port == config_.relay_port) {
+    return api::Status::Error("reply_port must differ from relay_port (both " +
+                              std::to_string(config_.reply_port) + ")");
+  }
+  *out = config_;
+  return api::Status::Ok();
+}
+
+const char* failure_cause_name(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone:
+      return "ok";
+    case FailureCause::kStaleDirectory:
+      return "stale_directory";
+    case FailureCause::kProviderDead:
+      return "provider_dead";
+    case FailureCause::kOverloaded:
+      return "overloaded";
+    case FailureCause::kNoProvider:
+      return "no_provider";
+    case FailureCause::kTimeout:
+      return "timeout";
+    case FailureCause::kProxyRelay:
+      return "proxy_relay";
+    case FailureCause::kCount:
+      break;
+  }
+  return "?";
+}
+
+ResponseStatus to_response_status(FailureCause cause) {
+  switch (cause) {
+    case FailureCause::kNone:
+      return ResponseStatus::kOk;
+    case FailureCause::kStaleDirectory:
+      return ResponseStatus::kNotHosted;
+    case FailureCause::kOverloaded:
+      return ResponseStatus::kOverloaded;
+    default:
+      return ResponseStatus::kUnavailable;
+  }
+}
+
 ServiceConsumer::ServiceConsumer(sim::Simulation& sim, net::Network& net,
                                  protocols::MembershipDaemon& membership,
                                  ConsumerConfig config)
@@ -88,6 +207,7 @@ void ServiceConsumer::attempt(uint64_t id) {
     attempt_proxy(pending);
     return;
   }
+  pending.saw_candidates = true;
   if (candidates.size() == 1) {
     dispatch(pending, candidates[0]);
     return;
@@ -128,6 +248,10 @@ void ServiceConsumer::poll_deadline(uint64_t id) {
   pending.poll_timer = sim::kInvalidEventId;
   poll_to_request_.erase(pending.poll_id);
 
+  // Every silent probe target is a directory row that pointed at a replica
+  // no longer answering — the misroute cost of a stale view.
+  pending.misroutes += pending.polls_outstanding -
+                       static_cast<int>(pending.poll_replies.size());
   if (pending.poll_replies.empty()) {
     // Every probed replica is silent — likely dead. Retry with others.
     attempt(id);
@@ -166,14 +290,27 @@ void ServiceConsumer::request_deadline(uint64_t id) {
   auto it = pending_.find(id);
   if (it == pending_.end()) return;
   it->second.request_timer = sim::kInvalidEventId;
+  ++it->second.misroutes;  // dispatched to a silent (dead) target
   attempt(id);  // target silent: try the next replica
+}
+
+FailureCause ServiceConsumer::classify_failure(const Pending& pending) {
+  // Explicit protocol evidence first, then inference from silence.
+  if (pending.saw_not_hosted) return FailureCause::kStaleDirectory;
+  if (pending.misroutes > 0) return FailureCause::kProviderDead;
+  if (pending.saw_overload) return FailureCause::kOverloaded;
+  if (!pending.saw_candidates) return FailureCause::kNoProvider;
+  return FailureCause::kTimeout;
 }
 
 void ServiceConsumer::attempt_proxy(Pending& pending) {
   if (!config_.proxy_fallback || pending.via_proxy) {
     InvokeResult result;
-    result.status = ResponseStatus::kUnavailable;
+    result.cause = pending.via_proxy ? FailureCause::kProxyRelay
+                                     : classify_failure(pending);
     result.attempts = pending.attempts;
+    result.via_proxy = pending.via_proxy;
+    result.misroutes = pending.misroutes;
     finish(pending.id, result);
     return;
   }
@@ -184,8 +321,9 @@ void ServiceConsumer::attempt_proxy(Pending& pending) {
   }
   if (hosts.empty()) {
     InvokeResult result;
-    result.status = ResponseStatus::kUnavailable;
+    result.cause = classify_failure(pending);
     result.attempts = pending.attempts;
+    result.misroutes = pending.misroutes;
     finish(pending.id, result);
     return;
   }
@@ -211,9 +349,10 @@ void ServiceConsumer::attempt_proxy(Pending& pending) {
         auto it = pending_.find(id);
         if (it == pending_.end()) return;
         InvokeResult result;
-        result.status = ResponseStatus::kUnavailable;
+        result.cause = FailureCause::kProxyRelay;
         result.attempts = it->second.attempts;
         result.via_proxy = true;
+        result.misroutes = it->second.misroutes;
         finish(id, result);
       });
 }
@@ -263,21 +402,30 @@ void ServiceConsumer::on_packet(const net::Packet& packet) {
     switch (response->status) {
       case ResponseStatus::kOk: {
         InvokeResult result;
-        result.ok = true;
-        result.status = ResponseStatus::kOk;
+        result.cause = FailureCause::kNone;
         result.server = response->from;
         result.attempts = pending.attempts;
         result.via_proxy = pending.via_proxy;
+        result.misroutes = pending.misroutes;
         finish(response->request_id, result);
         return;
       }
       case ResponseStatus::kNotHosted:
       case ResponseStatus::kOverloaded: {
+        if (response->status == ResponseStatus::kNotHosted) {
+          // The provider is alive but never (or no longer) hosts this
+          // partition: the directory row that routed us here was stale.
+          pending.saw_not_hosted = true;
+          ++pending.misroutes;
+        } else {
+          pending.saw_overload = true;
+        }
         if (pending.via_proxy) {
           InvokeResult result;
-          result.status = response->status;
+          result.cause = FailureCause::kProxyRelay;
           result.attempts = pending.attempts;
           result.via_proxy = true;
+          result.misroutes = pending.misroutes;
           finish(response->request_id, result);
           return;
         }
@@ -288,9 +436,11 @@ void ServiceConsumer::on_packet(const net::Packet& packet) {
       }
       case ResponseStatus::kUnavailable: {
         InvokeResult result;
-        result.status = ResponseStatus::kUnavailable;
+        result.cause = pending.via_proxy ? FailureCause::kProxyRelay
+                                         : FailureCause::kProviderDead;
         result.attempts = pending.attempts;
         result.via_proxy = pending.via_proxy;
+        result.misroutes = pending.misroutes;
         finish(response->request_id, result);
         return;
       }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "api/status.h"
 #include "protocols/daemon.h"
 #include "protocols/ports.h"
 #include "service/messages.h"
@@ -35,13 +36,78 @@ struct ConsumerConfig {
   bool proxy_fallback = true;
 };
 
+// Validated construction for ConsumerConfig, same idiom as
+// MembershipConfigBuilder: fluent setters, `Build()` returns a Status and
+// leaves `out` untouched on rejection. Bare aggregate construction still
+// compiles (the struct stays public) but call sites should come through
+// here so bad timeouts/ports are caught at setup, not as silent hangs.
+class ConsumerConfigBuilder {
+ public:
+  ConsumerConfigBuilder() = default;
+
+  // Seed from an already-assembled configuration (e.g. re-validating after
+  // a programmatic tweak).
+  ConsumerConfigBuilder& replace(ConsumerConfig config);
+
+  ConsumerConfigBuilder& reply_port(net::Port port);
+  ConsumerConfigBuilder& provider_port(net::Port port);
+  ConsumerConfigBuilder& relay_port(net::Port port);
+  ConsumerConfigBuilder& poll_candidates(int candidates);
+  ConsumerConfigBuilder& poll_timeout(sim::Duration timeout);
+  ConsumerConfigBuilder& request_timeout(sim::Duration timeout);
+  ConsumerConfigBuilder& relay_timeout(sim::Duration timeout);
+  ConsumerConfigBuilder& max_attempts(int attempts);
+  ConsumerConfigBuilder& proxy_fallback(bool enabled);
+
+  // Validates ranges and port distinctness; writes to `out` on success.
+  // `out` is untouched on error.
+  api::Status Build(ConsumerConfig* out) const;
+
+ private:
+  ConsumerConfig config_;
+};
+
+// Why an invocation ended the way it did. Replaces the lossy
+// `ok` + ResponseStatus pair: a false `ok` used to collapse "the directory
+// pointed us at dead replicas", "a provider said it never hosted this", and
+// "the WAN relay went dark" into one kUnavailable — exactly the distinctions
+// churn-time SLO grading needs.
+enum class FailureCause : uint8_t {
+  kNone = 0,         // success
+  kStaleDirectory,   // a provider answered kNotHosted: the directory row
+                     //   outlived the registration it described
+  kProviderDead,     // the attempt budget was consumed by silent targets the
+                     //   directory still advertised (misroutes to dead
+                     //   replicas)
+  kOverloaded,       // every reachable replica pushed back kOverloaded
+  kNoProvider,       // the directory never produced a candidate (and no
+                     //   proxy path was available)
+  kTimeout,          // budget exhausted without a classifiable reply
+  kProxyRelay,       // the WAN relay path failed or timed out
+  kCount,
+};
+inline constexpr int kFailureCauseCount =
+    static_cast<int>(FailureCause::kCount);
+
+const char* failure_cause_name(FailureCause cause);
+
+// The wire-level status a cause collapses to — the relay answers remote
+// consumers over the v1 service wire format, which only speaks
+// ResponseStatus.
+ResponseStatus to_response_status(FailureCause cause);
+
 struct InvokeResult {
-  bool ok = false;
-  ResponseStatus status = ResponseStatus::kUnavailable;
+  FailureCause cause = FailureCause::kTimeout;
   sim::Duration latency = 0;
   net::HostId server = net::kInvalidHost;
   bool via_proxy = false;
   int attempts = 0;
+  // Directory rows acted on that pointed at a non-serving replica: silent
+  // probed/dispatched targets plus kNotHosted replies. Nonzero on success
+  // too — a misroute the retry path absorbed still cost the user latency.
+  int misroutes = 0;
+
+  bool ok() const { return cause == FailureCause::kNone; }
 };
 
 class ServiceConsumer {
@@ -81,6 +147,11 @@ class ServiceConsumer {
     int attempts = 0;
     bool via_proxy = false;
     std::vector<net::HostId> tried;
+    // Failure-attribution evidence, accumulated across attempts.
+    int misroutes = 0;
+    bool saw_not_hosted = false;
+    bool saw_overload = false;
+    bool saw_candidates = false;
     // Poll phase.
     uint64_t poll_id = 0;
     int polls_outstanding = 0;
@@ -92,6 +163,7 @@ class ServiceConsumer {
   };
 
   uint64_t next_id();
+  static FailureCause classify_failure(const Pending& pending);
   void attempt(uint64_t id);
   void start_poll(Pending& pending, std::vector<net::HostId> candidates);
   void poll_deadline(uint64_t id);

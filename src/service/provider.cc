@@ -21,6 +21,7 @@ void ServiceProvider::host_service(const std::string& name,
 void ServiceProvider::start() {
   if (running_) return;
   running_ = true;
+  alive_ = std::make_shared<bool>(true);
   net_.bind(self(), config_.port,
             [this](const net::Packet& p) { on_packet(p); });
 }
@@ -28,6 +29,7 @@ void ServiceProvider::start() {
 void ServiceProvider::stop() {
   if (!running_) return;
   net_.unbind(self(), config_.port);
+  alive_.reset();  // orphans in-service finish() events
   queue_.clear();
   active_ = 0;
   running_ = false;
@@ -90,7 +92,12 @@ void ServiceProvider::maybe_dispatch() {
     sim::Duration service_time = static_cast<sim::Duration>(
         sim_.rng().exponential(
             static_cast<double>(config_.mean_service_time)));
-    sim_.schedule_after(service_time, [this, request] { finish(request); });
+    sim_.schedule_after(service_time,
+                        [this, request,
+                         alive = std::weak_ptr<bool>(alive_)] {
+                          if (alive.expired()) return;
+                          finish(request);
+                        });
   }
 }
 

@@ -7,6 +7,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,10 @@ class ServiceProvider {
   protocols::MembershipDaemon& membership_;
   ProviderConfig config_;
   std::map<std::string, std::vector<int>> hosted_;
+  // In-service completion events capture a weak ref to this token; stop()
+  // drops it so completions scheduled before a crash cannot touch a dead
+  // (or destroyed) provider.
+  std::shared_ptr<bool> alive_;
   std::deque<RequestMsg> queue_;
   int active_ = 0;
   bool running_ = false;

@@ -150,8 +150,8 @@ void ProxyRelay::handle_remote_request(const RequestMsg& request) {
         ResponseMsg response;
         response.request_id = id;
         response.from = self();
-        response.status = result.ok ? ResponseStatus::kOk : result.status;
-        response.payload_bytes = result.ok ? response_bytes : 0;
+        response.status = to_response_status(result.cause);
+        response.payload_bytes = result.ok() ? response_bytes : 0;
         net_.send_unicast(self(), reply, encode_service_message(response));
       });
 }

@@ -23,7 +23,7 @@ void SearchGateway::query(Callback callback) {
         kIndexService, partition, params_.query_bytes,
         params_.index_response_bytes,
         [this, state](const InvokeResult& result) {
-          if (!result.ok) state->failed = true;
+          if (!result.ok()) state->failed = true;
           if (result.via_proxy) state->used_proxy = true;
           if (--state->outstanding > 0) return;
           if (state->failed) {
@@ -46,7 +46,7 @@ void SearchGateway::start_doc_phase(std::shared_ptr<QueryState> state) {
         kDocService, partition, params_.doc_request_bytes,
         params_.doc_response_bytes,
         [this, state](const InvokeResult& result) {
-          if (!result.ok) state->failed = true;
+          if (!result.ok()) state->failed = true;
           if (result.via_proxy) state->used_proxy = true;
           if (--state->outstanding > 0) return;
           QueryResult out;

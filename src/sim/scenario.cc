@@ -10,6 +10,7 @@
 #include "protocols/oracle.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "workload/workload.h"
 
 namespace tamp::chaos {
 
@@ -47,6 +48,7 @@ std::string scenario_name(const ScenarioSpec& spec) {
                      shape_name(spec.shape) + "/" + plan_name(spec.plan) +
                      "/s" + std::to_string(spec.seed);
   if (spec.hier_digest) name += "/digest";
+  if (spec.slo) name += "/slo";
   return name;
 }
 
@@ -58,6 +60,7 @@ std::string repro_command(const ScenarioSpec& spec) {
                     " --seed=" + std::to_string(spec.seed) +
                     " --nodes=" + std::to_string(spec.nodes);
   if (spec.hier_digest) cmd += " --hier-anti-entropy=digest";
+  if (spec.slo) cmd += " --slo";
   return cmd;
 }
 
@@ -241,17 +244,36 @@ class ScenarioRunner {
       return net_->host_up(from) && net_->host_up(to) &&
              topo_.path(from, to).reachable && !controller_.cut(from, to);
     });
+
+    if (spec_.slo) {
+      workload::WorkloadConfig workload_config;
+      // Leave the gossip cold start outside the graded window, like
+      // fault_start_ above.
+      workload_config.warmup = fault_start_ - 5 * sim::kSecond;
+      workload_ = std::make_unique<workload::WorkloadDriver>(
+          sim_, *net_, *cluster_, workload_config, spec_.seed);
+      // Phase boundaries: the fault window opens with the plan's first
+      // event and the heal window with its last.
+      workload_->set_phase_bounds(fault_start_, plan_.last_event_time());
+    }
   }
 
   ScenarioResult run() {
     oracle_->start();
     cluster_->start_all();
+    if (workload_ != nullptr) workload_->start();
     for (const FaultEvent& event : plan_.events) {
       const FaultAction* action = &event.action;
       sim_.schedule_at(event.at, [this, action] { apply(*action); });
     }
     const sim::Time horizon =
         plan_.last_event_time() + oracle_->quiesce_bound() + spec_.tail;
+    if (workload_ != nullptr) {
+      // Stop arrivals before the horizon so the in-flight tail can drain;
+      // whatever is still pending at the horizon is graded as unresolved.
+      sim_.schedule_at(horizon - 2 * sim::kSecond,
+                       [this] { workload_->quiesce(); });
+    }
     sim_.run_until(horizon);
     oracle_->stop();
 
@@ -266,6 +288,10 @@ class ScenarioRunner {
     result.events = sim_.events_executed();
     result.final_converged = cluster_->converged_count();
     result.final_running = cluster_->running_indices().size();
+    if (workload_ != nullptr) {
+      result.slo_json = workload_->report_json();
+      result.slo_phases = workload_->report();
+    }
     check_conservation(result);
     if (spec_.trace) result.trace_jsonl = net_->obs().tracer.to_jsonl();
     if (spec_.metrics) result.metrics_json = net_->obs().metrics.to_json();
@@ -432,6 +458,9 @@ class ScenarioRunner {
 
   void crash(size_t index) {
     if (!cluster_->alive(index)) return;  // already down: no-op
+    // The workload agent must go first: its provider/consumer hold
+    // references into the daemon the restart path will replace.
+    if (workload_ != nullptr) workload_->note_kill(index);
     cluster_->kill(index);
     oracle_->note_crash(index);
   }
@@ -440,6 +469,8 @@ class ScenarioRunner {
     if (cluster_->alive(index)) return;
     cluster_->restart(index);
     oracle_->note_restart(index);
+    // After restart: the fresh daemon is in place for the rebuilt agent.
+    if (workload_ != nullptr) workload_->note_restart(index);
   }
 
   void set_uplink(size_t segment, bool up) {
@@ -650,6 +681,7 @@ class ScenarioRunner {
   ChaosController controller_;
   std::unique_ptr<protocols::Cluster> cluster_;
   std::unique_ptr<protocols::MembershipOracle> oracle_;
+  std::unique_ptr<workload::WorkloadDriver> workload_;
   FaultPlan plan_;
   sim::Time fault_start_ = 0;
   std::vector<size_t> leader_victims_;
@@ -683,6 +715,7 @@ std::vector<ScenarioSpec> full_matrix(const MatrixOptions& options) {
           spec.nodes = options.nodes;
           spec.trace = options.trace;
           spec.metrics = options.metrics;
+          spec.slo = options.slo;
           specs.push_back(spec);
         }
       }
@@ -705,6 +738,7 @@ std::vector<ScenarioSpec> digest_matrix(const MatrixOptions& options) {
         spec.nodes = options.nodes;
         spec.trace = options.trace;
         spec.metrics = options.metrics;
+        spec.slo = options.slo;
         spec.hier_digest = true;
         specs.push_back(spec);
       }

@@ -16,6 +16,7 @@
 #include "obs/obs.h"
 #include "protocols/cluster.h"
 #include "sim/fault_plan.h"
+#include "workload/workload.h"
 
 namespace tamp::chaos {
 
@@ -62,6 +63,13 @@ struct ScenarioSpec {
   size_t trace_capacity = size_t{1} << 16;
   uint64_t trace_kinds_mask = obs::kAllTraceKinds;
   bool metrics = false;
+  // SLO mode: run the deterministic application workload (src/workload) on
+  // top of the scenario — every node issues open-loop user requests through
+  // its live ServiceConsumer while the fault plan executes — and return the
+  // per-phase SLO report in ScenarioResult::slo_json. Workload arrivals
+  // derive from `seed`, so the report is part of the reproduction tuple:
+  // byte-identical across same-seed runs at any parallel-runner jobs count.
+  bool slo = false;
 };
 
 // "hierarchical/racked/leader-kill/s3" — the four reproduction coordinates.
@@ -88,6 +96,9 @@ struct ScenarioResult {
   size_t final_running = 0;
   std::string trace_jsonl;   // filled when spec.trace
   std::string metrics_json;  // filled when spec.metrics
+  std::string slo_json;      // filled when spec.slo (integer-only JSON)
+  // Structured form of slo_json (kPhaseCount entries when spec.slo).
+  std::vector<workload::PhaseSlo> slo_phases;
 };
 
 ScenarioResult run_scenario(const ScenarioSpec& spec);
@@ -103,6 +114,7 @@ struct MatrixOptions {
   size_t nodes = 12;
   bool trace = false;
   bool metrics = false;
+  bool slo = false;
 };
 std::vector<ScenarioSpec> full_matrix(const MatrixOptions& options = {});
 

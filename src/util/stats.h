@@ -49,6 +49,7 @@ class Percentiles {
   double median() { return percentile(0.5); }
   double p95() { return percentile(0.95); }
   double p99() { return percentile(0.99); }
+  double p999() { return percentile(0.999); }
   double mean() const;
   double max();
   void reset() {

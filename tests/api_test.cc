@@ -3,6 +3,7 @@
 #include "api/mclient.h"
 #include "api/mservice.h"
 #include "net/builders.h"
+#include "service/consumer.h"
 
 namespace tamp::api {
 namespace {
@@ -377,6 +378,151 @@ TEST(ConfigBuilder, ValidatedConfigConstructsServiceDirectly) {
   EXPECT_EQ(service.run(), 0);
   MClient client(store, layout.hosts[0], 1234);
   EXPECT_TRUE(client.attached());
+}
+
+// --- control API v5: application-traffic queries ---------------------------
+
+struct TrafficQueryFixture : public ::testing::Test {
+  sim::Simulation sim{91};
+  net::Topology topo;
+  net::ClusterLayout layout;
+  std::unique_ptr<net::Network> net;
+  DirectoryStore store;
+  std::unique_ptr<MService> service;
+
+  void SetUp() override {
+    layout = net::build_single_segment(topo, 2);
+    net = std::make_unique<net::Network>(sim, topo);
+    service = std::make_unique<MService>(sim, *net, store, layout.hosts[0],
+                                         kPaperConfig);
+  }
+
+  // Stand in for a workload driver having run on this node: the queries
+  // read the registry, so seeding it directly gives exact expectations.
+  void seed_workload_metrics() {
+    obs::MetricsRegistry& metrics = net->obs().metrics;
+    const net::HostId self = layout.hosts[0];
+    metrics.counter(obs::Protocol::kWorkload, "requests_issued", self)
+        ->add(120);
+    metrics.counter(obs::Protocol::kWorkload, "requests_ok", self)->add(110);
+    metrics.counter(obs::Protocol::kWorkload, "requests_failed", self)
+        ->add(10);
+    metrics.counter(obs::Protocol::kWorkload, "request_attempts", self)
+        ->add(140);
+    metrics.counter(obs::Protocol::kWorkload, "misroutes", self)->add(7);
+    metrics.counter(obs::Protocol::kWorkload, "proxy_fallbacks", self)
+        ->add(3);
+  }
+};
+
+TEST_F(TrafficQueryFixture, WorkloadQueryRoundTrip) {
+  ASSERT_EQ(service->run(), 0);
+  seed_workload_metrics();
+  // A neighbor's counters must not bleed into this node's answer.
+  net->obs()
+      .metrics.counter(obs::Protocol::kWorkload, "requests_issued",
+                       layout.hosts[1])
+      ->add(999);
+
+  ControlResponse response = service->control(WorkloadQuery{});
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+  EXPECT_EQ(response.version, kControlApiVersion);
+  EXPECT_EQ(response.workload.requests_issued, 120u);
+  EXPECT_EQ(response.workload.requests_ok, 110u);
+  EXPECT_EQ(response.workload.requests_failed, 10u);
+  EXPECT_EQ(response.workload.request_attempts, 140u);
+  EXPECT_EQ(response.workload.misroutes, 7u);
+  EXPECT_EQ(response.workload.proxy_fallbacks, 3u);
+}
+
+TEST_F(TrafficQueryFixture, SloQueryReportsLatencyDistribution) {
+  ASSERT_EQ(service->run(), 0);
+  seed_workload_metrics();
+  obs::Histogram* latency = net->obs().metrics.histogram(
+      obs::Protocol::kWorkload, "latency_ns", layout.hosts[0]);
+  for (int ms = 1; ms <= 100; ++ms) latency->observe(ms * 1e6);
+
+  ControlResponse response = service->control(SloQuery{});
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+  // SloQuery answers the WorkloadQuery fields too.
+  EXPECT_EQ(response.workload.requests_issued, 120u);
+  EXPECT_EQ(response.slo.latency_samples, 100u);
+  EXPECT_GT(response.slo.p50_ns, 40 * 1000000ll);
+  EXPECT_LT(response.slo.p50_ns, 60 * 1000000ll);
+  EXPECT_LE(response.slo.p50_ns, response.slo.p99_ns);
+  EXPECT_LE(response.slo.p99_ns, response.slo.p999_ns);
+  EXPECT_EQ(response.slo.max_ns, 100 * 1000000ll);
+}
+
+TEST_F(TrafficQueryFixture, SloQueryWithoutSamplesReportsEmptySentinels) {
+  ASSERT_EQ(service->run(), 0);
+  ControlResponse response = service->control(SloQuery{});
+  ASSERT_TRUE(response.status.ok()) << response.status.message();
+  EXPECT_EQ(response.slo.latency_samples, 0u);
+  EXPECT_EQ(response.slo.p50_ns, -1);
+  EXPECT_EQ(response.slo.p999_ns, -1);
+}
+
+TEST_F(TrafficQueryFixture, TrafficQueriesGateOnVersionAndRun) {
+  // Before run(): both queries are rejected.
+  EXPECT_FALSE(service->control(WorkloadQuery{}).status.ok());
+  EXPECT_FALSE(service->control(SloQuery{}).status.ok());
+  ASSERT_EQ(service->run(), 0);
+
+  // A pre-v5 client's stamp is rejected, never silently misread.
+  WorkloadQuery stale_workload;
+  stale_workload.version = 4;
+  ControlResponse rejected = service->control(stale_workload);
+  EXPECT_FALSE(rejected.status.ok());
+  EXPECT_NE(rejected.status.message().find("version"), std::string::npos);
+  SloQuery stale_slo;
+  stale_slo.version = 4;
+  EXPECT_FALSE(service->control(stale_slo).status.ok());
+
+  EXPECT_TRUE(service->control(WorkloadQuery{}).status.ok());
+}
+
+// --- ConsumerConfigBuilder -------------------------------------------------
+
+TEST(ConsumerConfigBuilder, FluentBuildValidates) {
+  service::ConsumerConfig config;
+  Status status = service::ConsumerConfigBuilder()
+                      .poll_candidates(3)
+                      .poll_timeout(50 * sim::kMillisecond)
+                      .request_timeout(sim::kSecond)
+                      .max_attempts(5)
+                      .proxy_fallback(false)
+                      .Build(&config);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(config.poll_candidates, 3);
+  EXPECT_EQ(config.poll_timeout, 50 * sim::kMillisecond);
+  EXPECT_EQ(config.request_timeout, sim::kSecond);
+  EXPECT_EQ(config.max_attempts, 5);
+  EXPECT_FALSE(config.proxy_fallback);
+}
+
+TEST(ConsumerConfigBuilder, RejectsOutOfRangeValues) {
+  service::ConsumerConfig config;
+  config.max_attempts = 99;  // sentinel: must stay untouched on error
+  using service::ConsumerConfigBuilder;
+  EXPECT_FALSE(ConsumerConfigBuilder().poll_candidates(0).Build(&config).ok());
+  EXPECT_FALSE(
+      ConsumerConfigBuilder().poll_candidates(17).Build(&config).ok());
+  EXPECT_FALSE(ConsumerConfigBuilder().max_attempts(0).Build(&config).ok());
+  EXPECT_FALSE(ConsumerConfigBuilder().poll_timeout(0).Build(&config).ok());
+  EXPECT_FALSE(
+      ConsumerConfigBuilder().request_timeout(-1).Build(&config).ok());
+  EXPECT_FALSE(ConsumerConfigBuilder().relay_timeout(0).Build(&config).ok());
+  // Port collisions would make the consumer answer itself.
+  EXPECT_FALSE(ConsumerConfigBuilder()
+                   .reply_port(protocols::kServicePort)
+                   .Build(&config)
+                   .ok());
+  EXPECT_FALSE(ConsumerConfigBuilder()
+                   .reply_port(service::kProxyRelayPort)
+                   .Build(&config)
+                   .ok());
+  EXPECT_EQ(config.max_attempts, 99);
 }
 
 TEST(ApiStandalone, MalformedConfigFallsBackToDefaults) {

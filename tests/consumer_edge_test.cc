@@ -5,7 +5,9 @@
 
 #include "net/builders.h"
 #include "protocols/cluster.h"
+#include "proxy/proxy.h"
 #include "service/consumer.h"
+#include "service/messages.h"
 #include "service/provider.h"
 
 namespace tamp::service {
@@ -57,7 +59,8 @@ TEST_F(ConsumerEdgeFixture, CallbackFiresExactlyOnceOnSuccess) {
 TEST_F(ConsumerEdgeFixture, CallbackFiresExactlyOnceOnFailure) {
   build(3);
   ConsumerConfig config;
-  config.proxy_fallback = false;
+  ASSERT_TRUE(
+      ConsumerConfigBuilder().proxy_fallback(false).Build(&config).ok());
   ServiceConsumer consumer(sim, *net, cluster->daemon(0), config);
   consumer.start();
   sim.run_until(8 * sim::kSecond);
@@ -77,7 +80,7 @@ TEST_F(ConsumerEdgeFixture, SingleReplicaSkipsPolling) {
 
   sim::Duration latency = -1;
   consumer.invoke("solo", 0, 10, 10, [&](const InvokeResult& result) {
-    ASSERT_TRUE(result.ok);
+    ASSERT_TRUE(result.ok());
     latency = result.latency;
   });
   sim.run_until(sim.now() + 2 * sim::kSecond);
@@ -100,7 +103,7 @@ TEST_F(ConsumerEdgeFixture, PollTimeoutFallsBackToResponders) {
   int ok = 0;
   for (int i = 0; i < 8; ++i) {
     consumer.invoke("mix", 0, 10, 10, [&](const InvokeResult& result) {
-      if (result.ok) {
+      if (result.ok()) {
         ++ok;
         EXPECT_EQ(result.server, layout.hosts[2]);
       }
@@ -116,8 +119,11 @@ TEST_F(ConsumerEdgeFixture, ExhaustedAttemptsReportUnavailable) {
   add_provider(2, "doomed", 0);
   add_provider(3, "doomed", 0);
   ConsumerConfig config;
-  config.proxy_fallback = false;
-  config.max_attempts = 2;
+  ASSERT_TRUE(ConsumerConfigBuilder()
+                  .proxy_fallback(false)
+                  .max_attempts(2)
+                  .Build(&config)
+                  .ok());
   ServiceConsumer consumer(sim, *net, cluster->daemon(0), config);
   consumer.start();
   sim.run_until(8 * sim::kSecond);
@@ -132,8 +138,8 @@ TEST_F(ConsumerEdgeFixture, ExhaustedAttemptsReportUnavailable) {
   });
   sim.run_until(sim.now() + 10 * sim::kSecond);
   ASSERT_TRUE(done);
-  EXPECT_FALSE(got.ok);
-  EXPECT_EQ(got.status, ResponseStatus::kUnavailable);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.cause, FailureCause::kProviderDead);
   EXPECT_EQ(got.attempts, 2);
   // Bounded by attempts x (poll timeout + request timeout).
   EXPECT_LT(got.latency, 5 * sim::kSecond);
@@ -153,7 +159,7 @@ TEST_F(ConsumerEdgeFixture, ConcurrentInvocationsKeepIdsSeparate) {
     net::HostId expected = (i % 2 == 0) ? layout.hosts[1] : layout.hosts[2];
     consumer.invoke(service, 0, 10, 10,
                     [&, expected](const InvokeResult& result) {
-                      EXPECT_TRUE(result.ok);
+                      EXPECT_TRUE(result.ok());
                       EXPECT_EQ(result.server, expected);
                       ++done;
                     });
@@ -200,13 +206,181 @@ TEST_F(ConsumerEdgeFixture, ProviderQueueDrainsInOrder) {
   int done = 0;
   for (int i = 0; i < 10; ++i) {
     consumer.invoke("fifo", 0, 10, 10, [&](const InvokeResult& result) {
-      EXPECT_TRUE(result.ok);
+      EXPECT_TRUE(result.ok());
       ++done;
     });
   }
   sim.run_until(sim.now() + 10 * sim::kSecond);
   EXPECT_EQ(done, 10);
   EXPECT_EQ(providers.back()->requests_served(), 10u);
+}
+
+// --- proxy fallback under dynamic-topology faults --------------------------
+//
+// The racked fixture mirrors the router-flap / rewire-heal chaos plans at
+// unit scale: providers live across the core router from the consumer, a
+// proxy lives on the consumer's own segment, and the test mutates the
+// topology mid-run. The "proxy" is the directory row plus a minimal relay
+// stub answering kOk on the relay port — the consumer's fallback decision
+// (when to give up on the directory and pay the relay) is what's under test,
+// not the WAN handshake (multidc_test covers that).
+struct ProxyFallbackFixture : public ::testing::Test {
+  sim::Simulation sim{17};
+  net::Topology topo;
+  net::ClusterLayout layout;
+  std::unique_ptr<net::Network> net;
+  std::unique_ptr<protocols::Cluster> cluster;
+  std::vector<std::unique_ptr<ServiceProvider>> providers;
+  uint64_t relay_served = 0;
+
+  void build(int racks, int hosts_per_rack) {
+    net::RackedClusterParams params;
+    params.racks = racks;
+    params.hosts_per_rack = hosts_per_rack;
+    layout = net::build_racked_cluster(topo, params);
+    net = std::make_unique<net::Network>(sim, topo);
+    protocols::Cluster::Options opts;
+    opts.scheme = protocols::Scheme::kHierarchical;
+    // React to topology mutation at heartbeat speed, like the chaos plans.
+    opts.hier.topology_poll_interval = 1 * sim::kSecond;
+    cluster = std::make_unique<protocols::Cluster>(sim, *net, layout.hosts,
+                                                   opts);
+    cluster->start_all();
+  }
+
+  protocols::MembershipDaemon& daemon_of(net::HostId host) {
+    protocols::MembershipDaemon* daemon = cluster->daemon_for(host);
+    EXPECT_NE(daemon, nullptr);
+    return *daemon;
+  }
+
+  void add_provider(net::HostId host, const std::string& service) {
+    providers.push_back(
+        std::make_unique<ServiceProvider>(sim, *net, daemon_of(host)));
+    providers.back()->host_service(service, {0});
+    providers.back()->start();
+  }
+
+  // Advertise `host` as a proxy and answer relayed requests with kOk.
+  void add_relay_stub(net::HostId host) {
+    daemon_of(host).register_service(proxy::kProxyServiceName, {0});
+    net->bind(host, kProxyRelayPort, [this, host](const net::Packet& packet) {
+      auto message = decode_service_message(packet);
+      if (!message) return;
+      const auto* request = std::get_if<RequestMsg>(&*message);
+      if (request == nullptr) return;
+      ++relay_served;
+      ResponseMsg response;
+      response.request_id = request->request_id;
+      response.from = host;
+      response.status = ResponseStatus::kOk;
+      response.payload_bytes = request->response_bytes;
+      net->send_unicast(host,
+                        net::Address{request->reply_host, request->reply_port},
+                        encode_service_message(response));
+    });
+  }
+
+  InvokeResult invoke_and_wait(ServiceConsumer& consumer,
+                               const std::string& service) {
+    InvokeResult got;
+    bool done = false;
+    consumer.invoke(service, 0, 10, 10, [&](const InvokeResult& result) {
+      got = result;
+      done = true;
+    });
+    sim.run_until(sim.now() + 10 * sim::kSecond);
+    EXPECT_TRUE(done);
+    return got;
+  }
+};
+
+// Router-flap: the core router power-cycles. While it is dark the directory
+// still lists the cross-rack providers (stale rows), so the consumer pays
+// misroutes, exhausts its direct attempts, and must fall back to the
+// same-segment proxy; once the router returns and the directory
+// reconverges, requests go direct again.
+TEST_F(ProxyFallbackFixture, RouterFlapFallsBackToProxyAndRecovers) {
+  build(2, 4);
+  add_provider(layout.racks[1][0], "svc");
+  add_provider(layout.racks[1][1], "svc");
+  add_relay_stub(layout.racks[0][1]);
+  ServiceConsumer consumer(sim, *net, daemon_of(layout.racks[0][0]));
+  consumer.start();
+  sim.run_until(15 * sim::kSecond);
+  ASSERT_TRUE(cluster->converged());
+
+  InvokeResult direct = invoke_and_wait(consumer, "svc");
+  ASSERT_TRUE(direct.ok());
+  EXPECT_FALSE(direct.via_proxy);
+  EXPECT_EQ(relay_served, 0u);
+
+  // Dark phase, stale window: invoked at the instant of the crash, before
+  // any topology tick can prune, the rows still point across the dead core.
+  topo.set_device_up(layout.routers[0], false);
+  InvokeResult flapped = invoke_and_wait(consumer, "svc");
+  ASSERT_TRUE(flapped.ok());
+  EXPECT_TRUE(flapped.via_proxy);
+  EXPECT_GT(flapped.misroutes, 0);
+  EXPECT_EQ(relay_served, 1u);
+
+  // Dark phase, after reconvergence: whether or not the stale rows are
+  // gone, the proxy still carries the traffic.
+  sim.run_until(sim.now() + 25 * sim::kSecond);
+  InvokeResult pruned = invoke_and_wait(consumer, "svc");
+  ASSERT_TRUE(pruned.ok());
+  EXPECT_TRUE(pruned.via_proxy);
+  EXPECT_EQ(relay_served, 2u);
+
+  // Heal: the router returns, the directory re-merges, traffic goes direct.
+  topo.set_device_up(layout.routers[0], true);
+  sim.run_until(sim.now() + 30 * sim::kSecond);
+  ASSERT_TRUE(cluster->converged());
+  InvokeResult healed = invoke_and_wait(consumer, "svc");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed.via_proxy);
+  EXPECT_EQ(relay_served, 2u);
+}
+
+// Rewire-heal: the core crashes and the network heals into a different
+// shape before it returns — a provider host is re-homed onto the consumer's
+// own segment. The consumer must ride the proxy while dark, then find the
+// migrated provider directly once the directory tracks the new shape (the
+// core is still down — only the rewire made the direct path exist).
+TEST_F(ProxyFallbackFixture, RewireHealRestoresDirectPathWithoutRouter) {
+  build(3, 3);
+  net::HostId migrant = layout.racks[1][0];
+  add_provider(migrant, "svc");
+  add_provider(layout.racks[1][1], "svc");
+  add_relay_stub(layout.racks[0][1]);
+  ServiceConsumer consumer(sim, *net, daemon_of(layout.racks[0][0]));
+  consumer.start();
+  sim.run_until(15 * sim::kSecond);
+  ASSERT_TRUE(cluster->converged());
+
+  topo.set_device_up(layout.routers[0], false);
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+  InvokeResult dark = invoke_and_wait(consumer, "svc");
+  ASSERT_TRUE(dark.ok());
+  EXPECT_TRUE(dark.via_proxy);
+  EXPECT_EQ(relay_served, 1u);
+
+  // Rewire: the provider joins the consumer's segment while the core is
+  // still dark; the level-0 group re-forms around it.
+  topo.migrate_host(migrant, layout.rack_switches[0]);
+  sim.run_until(sim.now() + 25 * sim::kSecond);
+  InvokeResult rewired = invoke_and_wait(consumer, "svc");
+  ASSERT_TRUE(rewired.ok());
+  EXPECT_FALSE(rewired.via_proxy);
+  EXPECT_EQ(rewired.server, migrant);
+  EXPECT_EQ(relay_served, 1u);
+
+  // Heal: the router returns; direct service continues uninterrupted.
+  topo.set_device_up(layout.routers[0], true);
+  sim.run_until(sim.now() + 30 * sim::kSecond);
+  InvokeResult healed = invoke_and_wait(consumer, "svc");
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed.via_proxy);
 }
 
 }  // namespace

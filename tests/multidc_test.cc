@@ -71,7 +71,7 @@ TEST(ThreeDc, InvocationPicksADatacenterThatHasTheService) {
     consumer.invoke("shared", 0, 100, 100,
                     [&](const InvokeResult& result) {
                       ++total;
-                      if (result.ok) {
+                      if (result.ok()) {
                         ++ok;
                         EXPECT_TRUE(result.via_proxy);
                       }
@@ -111,7 +111,7 @@ TEST(RelayEdgeCases, StaleSummaryDoesNotPingPong) {
   });
   sim.run_until(sim.now() + 8 * sim::kSecond);
   ASSERT_TRUE(done);
-  EXPECT_FALSE(got.ok);  // clean failure, bounded time
+  EXPECT_FALSE(got.ok());  // clean failure, bounded time
 }
 
 TEST(RelayEdgeCases, WanCutFailsRelayWithTimeout) {
@@ -137,7 +137,7 @@ TEST(RelayEdgeCases, WanCutFailsRelayWithTimeout) {
   sim::Duration elapsed = 0;
   consumer.invoke("remote-only", 0, 50, 50,
                   [&](const InvokeResult& result) {
-                    EXPECT_FALSE(result.ok);
+                    EXPECT_FALSE(result.ok());
                     elapsed = sim.now() - started;
                     done = true;
                   });
@@ -163,7 +163,7 @@ TEST(RelayEdgeCases, ProxyCountersAccount) {
   int ok = 0;
   for (int i = 0; i < 3; ++i) {
     consumer.invoke("counted", 0, 10, 10,
-                    [&](const InvokeResult& result) { ok += result.ok; });
+                    [&](const InvokeResult& result) { ok += result.ok() ? 1 : 0; });
   }
   sim.run_until(sim.now() + 5 * sim::kSecond);
   EXPECT_EQ(ok, 3);

@@ -160,7 +160,7 @@ TEST_F(ProxyFixture, CrossDcInvocationThroughRelay) {
   sim.run_until(sim.now() + 5 * sim::kSecond);
 
   ASSERT_TRUE(done);
-  EXPECT_TRUE(got.ok);
+  EXPECT_TRUE(got.ok());
   EXPECT_TRUE(got.via_proxy);
   // SYN + ACK + request + response: at least 4 WAN traversals at 45 ms.
   EXPECT_GE(got.latency, 180 * sim::kMillisecond);
@@ -183,7 +183,7 @@ TEST_F(ProxyFixture, CrossDcInvocationFailsWhenNowhereHosted) {
                   });
   sim.run_until(sim.now() + 5 * sim::kSecond);
   ASSERT_TRUE(done);
-  EXPECT_FALSE(got.ok);
+  EXPECT_FALSE(got.ok());
 }
 
 }  // namespace

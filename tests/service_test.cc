@@ -50,7 +50,7 @@ TEST_F(ServiceFixture, InvokeRoundTrip) {
   sim.run_until(sim.now() + 2 * sim::kSecond);
 
   ASSERT_TRUE(done);
-  EXPECT_TRUE(got.ok);
+  EXPECT_TRUE(got.ok());
   EXPECT_EQ(got.server, layout.hosts[1]);
   EXPECT_FALSE(got.via_proxy);
   EXPECT_GT(got.latency, 0);
@@ -71,8 +71,8 @@ TEST_F(ServiceFixture, UnknownServiceFailsCleanly) {
   });
   sim.run_until(sim.now() + 3 * sim::kSecond);
   ASSERT_TRUE(done);
-  EXPECT_FALSE(got.ok);
-  EXPECT_EQ(got.status, ResponseStatus::kUnavailable);
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.cause, FailureCause::kNoProvider);
 }
 
 TEST_F(ServiceFixture, RandomPollingPrefersLightReplica) {
@@ -107,7 +107,7 @@ TEST_F(ServiceFixture, RandomPollingPrefersLightReplica) {
   int done = 0;
   for (int i = 0; i < 30; ++i) {
     consumer.invoke("work", 0, 10, 10, [&](const InvokeResult& result) {
-      if (result.ok) hits[result.server]++;
+      if (result.ok()) hits[result.server]++;
       ++done;
     });
   }
@@ -137,7 +137,7 @@ TEST_F(ServiceFixture, FailoverToAnotherReplicaOnDeadTarget) {
   for (int i = 0; i < 10; ++i) {
     consumer.invoke("kv", 0, 10, 10, [&](const InvokeResult& result) {
       ++total;
-      if (result.ok) {
+      if (result.ok()) {
         ++ok;
         EXPECT_EQ(result.server, layout.hosts[2]);
       }
@@ -159,8 +159,11 @@ TEST_F(ServiceFixture, OverloadedProviderRejects) {
   provider.start();
 
   ConsumerConfig consumer_config;
-  consumer_config.proxy_fallback = false;
-  consumer_config.max_attempts = 1;
+  ASSERT_TRUE(ConsumerConfigBuilder()
+                  .proxy_fallback(false)
+                  .max_attempts(1)
+                  .Build(&consumer_config)
+                  .ok());
   ServiceConsumer consumer(sim, *net, cluster->daemon(0), consumer_config);
   consumer.start();
   sim.run_until(sim.now() + 3 * sim::kSecond);
@@ -168,7 +171,7 @@ TEST_F(ServiceFixture, OverloadedProviderRejects) {
   int ok = 0, rejected = 0;
   for (int i = 0; i < 12; ++i) {
     consumer.invoke("slow", 0, 10, 10, [&](const InvokeResult& result) {
-      if (result.ok) {
+      if (result.ok()) {
         ++ok;
       } else {
         ++rejected;
@@ -195,7 +198,7 @@ TEST_F(ServiceFixture, PartitionSelectsCorrectProvider) {
 
   bool done = false;
   consumer.invoke("part", 1, 10, 10, [&](const InvokeResult& result) {
-    EXPECT_TRUE(result.ok);
+    EXPECT_TRUE(result.ok());
     EXPECT_EQ(result.server, layout.hosts[2]);
     done = true;
   });

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""CI gate for user-visible SLO damage during churn.
+
+Reads the committed ``BENCH_slo.json`` (produced by bench/slo_churn) and
+enforces three properties:
+
+1. **Absolute ceilings.** Every row must pass its scenario oracle, balance
+   its accounting identity (issued == ok + failed + aborted + unresolved),
+   and stay inside the damage ceilings: success-rate floor, misroute-rate
+   and retry-amplification ceilings, and tail-latency bounds per phase.
+   The ceilings are generous against the committed numbers — they catch a
+   directory or consumer regression, not seed noise (there is none: the
+   sims are deterministic).
+
+2. **Hierarchy dividend.** On the node-churn plans (crash-restart and
+   leader-kill) the hierarchical protocol's misroute rate must not exceed
+   the all-to-all baseline's. This is the user-facing form of the paper's
+   claim: topology-scoped membership converges the directory fast enough
+   that fewer requests chase dead replicas.
+
+3. **Fresh creep.** Given a freshly measured report (``--fresh``), every
+   (scheme, plan, seed) row present in both files must keep its success
+   rate within ABS_OK_DROP of the committed baseline. Deterministic sims
+   reproduce the baseline exactly; the tolerance only absorbs intentional
+   protocol changes. Larger drops require regenerating the baseline
+   deliberately.
+
+Usage:
+  tools/check_slo.py BENCH_slo.json
+  tools/check_slo.py --fresh slo-ci.json BENCH_slo.json
+  tools/check_slo.py --selftest
+
+Exit codes: 0 ok, 1 gate failure, 2 usage/malformed input.
+"""
+
+import json
+import sys
+
+OK_RATE_FLOOR = 0.50          # worst committed row: 0.639 (a2a router-flap)
+MISROUTE_CEILING = 2.5        # worst committed row: 1.84 (a2a loss-storm)
+RETRY_AMP_CEILING = 2.0       # worst committed row: 1.64 (a2a loss-storm)
+FAULT_P99_CEILING_NS = int(600e6)  # worst committed row: 482ms (loss-storm)
+HEAL_P99_CEILING_NS = int(100e6)   # worst committed row: 24ms
+ABS_OK_DROP = 0.05            # fresh ok_rate may trail baseline by <= 5pts
+
+CHURN_PLANS = ("crash-restart", "leader-kill")
+
+
+def rows_by_key(report):
+    """{(scheme, plan, seed): row} from an slo_churn report."""
+    out = {}
+    for row in report.get("rows", []):
+        try:
+            key = (row["scheme"], row["plan"], int(row["seed"]))
+        except (KeyError, TypeError, ValueError):
+            continue
+        out[key] = row
+    return out
+
+
+def check_row(key, row):
+    scheme, plan, seed = key
+    label = f"{scheme}/{plan}/s{seed}"
+    problems = []
+    if not row.get("passed", False):
+        problems.append("scenario oracle failed")
+    issued = int(row.get("issued", 0))
+    if issued <= 0:
+        problems.append("no requests issued")
+    else:
+        balance = (int(row.get("ok", 0)) + int(row.get("failed", 0)) +
+                   int(row.get("aborted", 0)) + int(row.get("unresolved", 0)))
+        if balance != issued:
+            problems.append(f"accounting broken: {balance} != {issued}")
+    if float(row.get("ok_rate", 0.0)) < OK_RATE_FLOOR:
+        problems.append(f"ok_rate {row.get('ok_rate')} < {OK_RATE_FLOOR}")
+    if float(row.get("misroute_rate", 0.0)) > MISROUTE_CEILING:
+        problems.append(
+            f"misroute_rate {row.get('misroute_rate')} > {MISROUTE_CEILING}")
+    if float(row.get("retry_amplification", 0.0)) > RETRY_AMP_CEILING:
+        problems.append(f"retry_amplification "
+                        f"{row.get('retry_amplification')} > "
+                        f"{RETRY_AMP_CEILING}")
+    fault_p99 = int(row.get("fault_p99_ns", -1))
+    if fault_p99 > FAULT_P99_CEILING_NS:
+        problems.append(f"fault_p99 {fault_p99 / 1e6:.1f}ms > "
+                        f"{FAULT_P99_CEILING_NS / 1e6:.0f}ms")
+    heal_p99 = int(row.get("heal_p99_ns", -1))
+    if heal_p99 > HEAL_P99_CEILING_NS:
+        problems.append(f"heal_p99 {heal_p99 / 1e6:.1f}ms > "
+                        f"{HEAL_P99_CEILING_NS / 1e6:.0f}ms")
+    for problem in problems:
+        print(f"check_slo: FAIL — {label}: {problem}")
+    return 1 if problems else 0
+
+
+def check_hierarchy_dividend(rows):
+    """Hier misroute rate must not exceed a2a's on the node-churn plans."""
+    status = 0
+    compared = 0
+    for (scheme, plan, seed), row in sorted(rows.items()):
+        if scheme != "hierarchical" or plan not in CHURN_PLANS:
+            continue
+        baseline = rows.get(("all-to-all", plan, seed))
+        if baseline is None:
+            continue
+        compared += 1
+        hier = float(row.get("misroute_rate", 0.0))
+        a2a = float(baseline.get("misroute_rate", 0.0))
+        verdict = "ok" if hier <= a2a else "FAIL"
+        print(f"check_slo: {verdict} — {plan}/s{seed} misroute rate: "
+              f"hierarchical {hier:.4f} vs all-to-all {a2a:.4f}")
+        if hier > a2a:
+            status = 1
+    if compared == 0:
+        print("check_slo: no hierarchical/all-to-all churn-plan pair to "
+              "compare", file=sys.stderr)
+        return 2
+    return status
+
+
+def check_creep(baseline, fresh):
+    common = sorted(set(baseline) & set(fresh))
+    if not common:
+        print("check_slo: fresh report shares no rows with the baseline",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for key in common:
+        base_ok = float(baseline[key].get("ok_rate", 0.0))
+        new_ok = float(fresh[key].get("ok_rate", 0.0))
+        floor = base_ok - ABS_OK_DROP
+        verdict = "ok" if new_ok >= floor else "FAIL"
+        scheme, plan, seed = key
+        print(f"check_slo: {verdict} — {scheme}/{plan}/s{seed} ok_rate "
+              f"{new_ok:.4f} vs baseline {base_ok:.4f} (floor {floor:.4f})")
+        if new_ok < floor:
+            status = 1
+    return status
+
+
+def run(baseline_report, fresh_report):
+    baseline = rows_by_key(baseline_report)
+    if not baseline:
+        print("check_slo: baseline has no rows", file=sys.stderr)
+        return 2
+    status = 0
+    for key, row in sorted(baseline.items()):
+        status = max(status, check_row(key, row))
+    if status == 0:
+        print(f"check_slo: ok — {len(baseline)} row(s) inside all ceilings")
+    status = max(status, check_hierarchy_dividend(baseline))
+    if fresh_report is not None:
+        status = max(status, check_creep(baseline, rows_by_key(fresh_report)))
+    return status
+
+
+def selftest():
+    def row(scheme, plan, seed=1, ok_rate=0.95, misroute=0.1, retry=1.1,
+            fault_p99=int(30e6), heal_p99=int(20e6), issued=1000,
+            passed=True, ok=None):
+        ok = int(issued * ok_rate) if ok is None else ok
+        return {"scheme": scheme, "plan": plan, "seed": seed,
+                "passed": passed, "issued": issued, "ok": ok,
+                "failed": issued - ok, "aborted": 0, "unresolved": 0,
+                "ok_rate": ok_rate, "misroute_rate": misroute,
+                "retry_amplification": retry, "fault_p99_ns": fault_p99,
+                "heal_p99_ns": heal_p99}
+
+    good = {"rows": [row("all-to-all", "crash-restart", misroute=0.02),
+                     row("hierarchical", "crash-restart", misroute=0.01),
+                     row("all-to-all", "leader-kill", misroute=0.05),
+                     row("hierarchical", "leader-kill", misroute=0.02)]}
+    inverted = {"rows": [row("all-to-all", "crash-restart", misroute=0.01),
+                         row("hierarchical", "crash-restart", misroute=0.02),
+                         row("all-to-all", "leader-kill", misroute=0.05),
+                         row("hierarchical", "leader-kill", misroute=0.02)]}
+    slow = {"rows": [r for r in good["rows"]]}
+    slow["rows"] = slow["rows"][:1] + [
+        row("hierarchical", "crash-restart", misroute=0.01,
+            fault_p99=int(700e6))] + slow["rows"][2:]
+    unbalanced = {"rows": [dict(good["rows"][0], aborted=7)] +
+                          good["rows"][1:]}
+    oracle_fail = {"rows": [dict(good["rows"][0], passed=False)] +
+                           good["rows"][1:]}
+    dropped = {"rows": [dict(r, ok_rate=r["ok_rate"] - 0.10)
+                        for r in good["rows"]]}
+
+    cases = [
+        (good, None, 0),
+        (inverted, None, 1),      # hier misroutes more than a2a
+        (slow, None, 1),          # fault p99 over ceiling
+        (unbalanced, None, 1),    # accounting identity broken
+        (oracle_fail, None, 1),
+        (good, good, 0),          # fresh == baseline
+        (good, dropped, 1),       # 10pt ok_rate drop > 5pt allowance
+        ({"rows": []}, None, 2),
+        (good, {"rows": []}, 2),
+    ]
+    for baseline, fresh, expected in cases:
+        got = run(baseline, fresh)
+        if got != expected:
+            print(f"selftest FAIL: expected exit {expected}, got {got}",
+                  file=sys.stderr)
+            return 1
+    print("check_slo: selftest ok")
+    return 0
+
+
+def main(argv):
+    args = argv[1:]
+    if args == ["--selftest"]:
+        return selftest()
+    fresh_path = None
+    if len(args) >= 2 and args[0] == "--fresh":
+        fresh_path = args[1]
+        args = args[2:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(args[0], "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        fresh = None
+        if fresh_path is not None:
+            with open(fresh_path, "r", encoding="utf-8") as fh:
+                fresh = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_slo: {err}", file=sys.stderr)
+        return 2
+    return run(baseline, fresh)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
